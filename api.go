@@ -1,0 +1,280 @@
+// Package linkclust is an efficient link-clustering library for multi-core
+// machines, reproducing Guanhua Yan, "Improving Efficiency of Link
+// Clustering on Multi-Core Machines" (ICDCS 2017).
+//
+// Link clustering (Ahn, Bagrow & Lehmann, Nature 2010) groups the *edges*
+// of a graph by the Tanimoto similarity of incident edges, revealing
+// overlapping and hierarchical community structure. This package provides
+// the paper's three acceleration axes behind one facade:
+//
+//   - Algorithm — the two-phase serial sweep: Similarity (Algorithm 1)
+//     computes incident-pair similarities in three graph passes; Cluster /
+//     Sweep (Algorithm 2) replays them through the chain array C in
+//     O(|V| + K1·log K1 + √K2·|E|) time, versus O(|E|²) for classic
+//     single-linkage (SLINK / next-best-merge).
+//   - Modeling — CoarseCluster produces coarse-grained dendrograms whose
+//     per-level merge rate is bounded by γ, stopping below φ clusters, with
+//     rollback-based chunk-size estimation.
+//   - Parallelization — SimilarityParallel and CoarseParams.Workers run
+//     both phases multi-threaded (Section VI), including the corrected
+//     replica-merge scheme for array C.
+//
+// Dendrogram analysis (cuts, partition density, overlapping communities)
+// and the paper's word-association-network pipeline (tokenizing, stemming,
+// PMI edge weights) are included. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quick start:
+//
+//	g := linkclust.NewGraphBuilder(4)
+//	g.MustAddEdge(0, 1, 1)
+//	// ... add edges ...
+//	res, err := linkclust.Cluster(g.Build(nil))
+//	d := linkclust.NewDendrogram(res)
+//	theta, density, labels := linkclust.BestCut(g.Build(nil), d)
+//	comms := linkclust.Communities(g.Build(nil), labels)
+package linkclust
+
+import (
+	"io"
+
+	"linkclust/internal/assoc"
+	"linkclust/internal/coarse"
+	"linkclust/internal/core"
+	"linkclust/internal/corpus"
+	"linkclust/internal/dendro"
+	"linkclust/internal/graph"
+	"linkclust/internal/metrics"
+	"linkclust/internal/onmi"
+	"linkclust/internal/planted"
+)
+
+// Graph and corpus building blocks.
+type (
+	// Graph is an immutable weighted undirected graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and produces a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is an undirected weighted edge with canonical order U < V.
+	Edge = graph.Edge
+	// GraphStats bundles |V|, |E|, density, and the K1/K2/K3 quantities
+	// of the paper's complexity analysis.
+	GraphStats = graph.Stats
+
+	// Corpus is an ordered collection of processed documents.
+	Corpus = corpus.Corpus
+	// SynthConfig parameterizes the synthetic tweet generator.
+	SynthConfig = corpus.SynthConfig
+	// AssocOptions tunes word-association-network construction.
+	AssocOptions = assoc.Options
+)
+
+// Clustering types.
+type (
+	// Pair is one vertex pair of map M with its similarity and common
+	// neighbors (Algorithm 1 output).
+	Pair = core.Pair
+	// PairList is the materialized map M; after Sort it is list L.
+	PairList = core.PairList
+	// Merge is one dendrogram merge event.
+	Merge = core.Merge
+	// Result is the output of the fine-grained sweep.
+	Result = core.Result
+	// Chain is the array C with the F(i)/MERGE primitives.
+	Chain = core.Chain
+	// CompactPairList is the struct-of-arrays pair list for
+	// memory-constrained runs.
+	CompactPairList = core.CompactPairList
+
+	// CoarseParams configures coarse-grained clustering (γ, φ, δ0, η0,
+	// worker count).
+	CoarseParams = coarse.Params
+	// CoarseResult is the output of a coarse-grained sweep.
+	CoarseResult = coarse.Result
+	// CoarseEpoch records one epoch of the coarse-grained mode machine.
+	CoarseEpoch = coarse.Epoch
+
+	// Dendrogram supports cuts and per-level queries over merge streams.
+	Dendrogram = dendro.Dendrogram
+	// Community is one link community with its edges and induced nodes.
+	Community = dendro.Community
+)
+
+// NewGraphBuilder returns a builder for a graph with n unlabeled vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewLabeledGraphBuilder returns a builder whose vertices carry labels.
+func NewLabeledGraphBuilder(labels []string) *GraphBuilder {
+	return graph.NewLabeledBuilder(labels)
+}
+
+// ComputeStats returns the structural statistics of g, including K1 and K2.
+func ComputeStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// ReadGraph parses a graph in the library's text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serializes a graph in the library's text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// WriteDOT serializes a graph in Graphviz DOT format; edgeColor (optional)
+// maps each edge id to a color class, the usual way to draw link
+// communities.
+func WriteDOT(w io.Writer, g *Graph, edgeColor func(edge int32) int32) error {
+	return graph.WriteDOT(w, g, edgeColor)
+}
+
+// Similarity runs the initialization phase (Algorithm 1) serially,
+// producing the similarity-annotated pair list.
+func Similarity(g *Graph) *PairList { return core.Similarity(g) }
+
+// SimilarityParallel runs the initialization phase with the multi-threaded
+// scheme of Section VI-A; workers < 2 falls back to the serial path.
+func SimilarityParallel(g *Graph, workers int) *PairList {
+	return core.SimilarityParallel(g, workers)
+}
+
+// Sweep runs the sweeping phase (Algorithm 2) over a pair list built from
+// the same graph.
+func Sweep(g *Graph, pl *PairList) (*Result, error) { return core.Sweep(g, pl) }
+
+// CompactPairs converts a pair list to the struct-of-arrays layout, roughly
+// halving the pipeline's dominant allocation on large graphs.
+func CompactPairs(pl *PairList) *CompactPairList { return core.Compact(pl) }
+
+// SweepCompact is Sweep over the compact layout; results are identical.
+func SweepCompact(g *Graph, c *CompactPairList) (*Result, error) {
+	return core.SweepCompact(g, c)
+}
+
+// Cluster is the serial end-to-end pipeline: Similarity then Sweep.
+func Cluster(g *Graph) (*Result, error) { return core.Cluster(g) }
+
+// ClusterParallel runs the parallel initialization phase followed by the
+// serial fine-grained sweep. (Per the paper, only the coarse-grained sweep
+// parallelizes; use CoarseCluster with Workers for a fully parallel run.)
+func ClusterParallel(g *Graph, workers int) (*Result, error) {
+	return core.Sweep(g, core.SimilarityParallel(g, workers))
+}
+
+// DefaultCoarseParams returns the paper's experimental parameters
+// (γ=2, φ=100, δ0=1000, η0=8, serial).
+func DefaultCoarseParams() CoarseParams { return coarse.DefaultParams() }
+
+// CoarseCluster runs Algorithm 1 (parallel when params.Workers > 1)
+// followed by the coarse-grained sweeping algorithm of Section V.
+func CoarseCluster(g *Graph, params CoarseParams) (*CoarseResult, error) {
+	return coarse.Sweep(g, core.SimilarityParallel(g, params.Workers), params)
+}
+
+// CoarseSweep runs only the coarse-grained sweeping phase over an existing
+// pair list (sorted in place if needed) — useful when comparing sweeping
+// strategies over one initialization, as the paper's Fig. 5(2) does.
+func CoarseSweep(g *Graph, pl *PairList, params CoarseParams) (*CoarseResult, error) {
+	return coarse.Sweep(g, pl, params)
+}
+
+// NewDendrogram wraps a fine-grained result's merge stream.
+func NewDendrogram(res *Result) *Dendrogram {
+	return dendro.New(res.Chain.Len(), res.Merges)
+}
+
+// NewCoarseDendrogram wraps a coarse-grained result's merge stream.
+func NewCoarseDendrogram(res *CoarseResult) *Dendrogram {
+	return dendro.New(res.Chain.Len(), res.Merges)
+}
+
+// PartitionDensity scores an edge clustering with Ahn et al.'s partition
+// density.
+func PartitionDensity(g *Graph, labels []int32) float64 {
+	return dendro.PartitionDensity(g, labels)
+}
+
+// BestCut returns the similarity threshold whose flat clustering maximizes
+// partition density, with that density and clustering.
+func BestCut(g *Graph, d *Dendrogram) (theta, density float64, labels []int32) {
+	return dendro.BestCut(g, d)
+}
+
+// Communities groups an edge clustering into link communities, largest
+// first.
+func Communities(g *Graph, labels []int32) []Community {
+	return dendro.Communities(g, labels)
+}
+
+// NodeMemberships lists, per vertex, the communities it belongs to;
+// vertices with more than one membership are the overlaps link clustering
+// reveals.
+func NodeMemberships(g *Graph, comms []Community) [][]int {
+	return dendro.NodeMemberships(g, comms)
+}
+
+// NewCorpus returns an empty corpus; feed it with AddDocument or ReadLines.
+func NewCorpus() *Corpus { return corpus.New() }
+
+// DefaultSynthConfig returns the harness's synthetic-corpus configuration.
+func DefaultSynthConfig() SynthConfig { return corpus.DefaultSynthConfig() }
+
+// SynthesizeCorpus generates a deterministic tweet-like corpus.
+func SynthesizeCorpus(cfg SynthConfig) *Corpus { return corpus.Synthesize(cfg) }
+
+// BuildWordGraph constructs the word-association network over the top
+// fraction alpha of the corpus vocabulary with PMI edge weights (Eq. 3).
+func BuildWordGraph(c *Corpus, alpha float64, opts AssocOptions) (*Graph, error) {
+	return assoc.Build(c, alpha, opts)
+}
+
+// Benchmarking against planted ground truth.
+type (
+	// PlantedConfig parameterizes the overlapping-community benchmark
+	// generator.
+	PlantedConfig = planted.Config
+	// PlantedBenchmark is a generated graph with its ground-truth cover.
+	PlantedBenchmark = planted.Benchmark
+	// Cover is a set of (possibly overlapping) node communities.
+	Cover = onmi.Cover
+)
+
+// DefaultPlantedConfig returns a moderate planted benchmark configuration.
+func DefaultPlantedConfig() PlantedConfig { return planted.DefaultConfig() }
+
+// GeneratePlanted builds a benchmark graph with known overlapping
+// communities.
+func GeneratePlanted(cfg PlantedConfig) (*PlantedBenchmark, error) {
+	return planted.Generate(cfg)
+}
+
+// CompareCovers returns the overlapping normalized mutual information
+// (Lancichinetti et al. 2009) between two covers over n nodes: 1 for
+// identical covers, near 0 for independent ones.
+func CompareCovers(x, y Cover, n int) (float64, error) {
+	return onmi.Compare(x, y, n)
+}
+
+// CoverOf extracts the node cover induced by a set of link communities —
+// the recovered counterpart of a planted ground-truth cover.
+func CoverOf(comms []Community) Cover {
+	out := make(Cover, 0, len(comms))
+	for _, c := range comms {
+		out = append(out, append([]int32(nil), c.Nodes...))
+	}
+	return out
+}
+
+// Coverage returns the fraction of edges whose endpoints share a community
+// of the cover.
+func Coverage(g *Graph, cover Cover) float64 {
+	return metrics.Coverage(g, cover)
+}
+
+// MeanConductance averages the weighted conductance of the cover's
+// communities; lower is better.
+func MeanConductance(g *Graph, cover Cover) float64 {
+	return metrics.MeanConductance(g, cover)
+}
+
+// OverlapModularity computes the extended modularity EQ (Shen et al. 2009)
+// of a possibly overlapping cover.
+func OverlapModularity(g *Graph, cover Cover) (float64, error) {
+	return metrics.OverlapModularity(g, cover)
+}

@@ -1,0 +1,70 @@
+// Command lcbench regenerates the paper's tables and figures on synthetic
+// workloads. Each experiment prints the rows/series of one figure; see
+// EXPERIMENTS.md for the mapping and the expected shapes.
+//
+// Usage:
+//
+//	lcbench -experiment all -size small
+//	lcbench -experiment fig4-2 -size medium -repeats 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"linkclust/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lcbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment to run (fig2-1, fig2-2, fig4-1, fig4-2, fig4-3, fig5-1, fig5-2, fig6-1, fig6-2, theory, all)")
+		size       = fs.String("size", "small", "workload size preset: small, medium, large")
+		repeats    = fs.Int("repeats", 0, "timed repetitions per measurement (0 = preset default)")
+		seed       = fs.Uint64("seed", 0, "corpus seed override (0 = preset default)")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(out, "%-8s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+	cfg, err := bench.DefaultConfig(bench.Size(*size))
+	if err != nil {
+		return err
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	if *seed != 0 {
+		cfg.Corpus.Seed = *seed
+	}
+	exp, err := bench.Lookup(*experiment)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lcbench: experiment=%s size=%s repeats=%d cpus=%d corpus={vocab=%d docs=%d seed=%d}\n\n",
+		exp.Name, *size, cfg.Repeats, runtime.NumCPU(),
+		cfg.Corpus.Vocab, cfg.Corpus.Docs, cfg.Corpus.Seed)
+	start := time.Now()
+	if err := exp.Run(out, cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

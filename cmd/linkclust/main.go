@@ -1,0 +1,450 @@
+// Command linkclust is the end-to-end pipeline CLI: synthesize or ingest a
+// corpus, build a word-association graph, cluster its links (fine-grained,
+// coarse-grained, or with the standard baselines), and report the
+// dendrogram and the link communities at the best partition-density cut.
+//
+// Subcommands:
+//
+//	linkclust synth  -vocab 2000 -docs 5000 > tweets.txt
+//	linkclust graph  -alpha 0.2 -in tweets.txt > graph.txt
+//	linkclust stats  -in graph.txt
+//	linkclust simil  -in graph.txt -out pairs.bin    # cache phase I
+//	linkclust cluster -in graph.txt -pairs pairs.bin -algo sweep \
+//	    -communities 5 -save-merges merges.bin -newick d.nwk -dot g.dot
+//	linkclust analyze -in graph.txt -merges merges.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"linkclust"
+	"linkclust/internal/baseline"
+	"linkclust/internal/core"
+	"linkclust/internal/corpus"
+	"linkclust/internal/dendro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "linkclust:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "synth":
+		return cmdSynth(args[1:], stdout)
+	case "graph":
+		return cmdGraph(args[1:], stdin, stdout)
+	case "stats":
+		return cmdStats(args[1:], stdin, stdout)
+	case "simil":
+		return cmdSimil(args[1:], stdin, stdout)
+	case "cluster":
+		return cmdCluster(args[1:], stdin, stdout)
+	case "analyze":
+		return cmdAnalyze(args[1:], stdin, stdout)
+	case "help", "-h", "--help":
+		return usageError()
+	default:
+		return fmt.Errorf("unknown subcommand %q: %w", args[0], usageError())
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: linkclust <synth|graph|stats|simil|cluster|analyze> [flags]")
+}
+
+// cmdAnalyze reads a graph and a saved merge stream and prints the cut
+// profile: for a sample of similarity thresholds, the cluster count,
+// partition density, edge coverage, and overlapping modularity of the
+// resulting communities — the model-selection view over a cached
+// dendrogram.
+func cmdAnalyze(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "-", "input graph (- for stdin)")
+		mpath  = fs.String("merges", "", "merge-stream file from 'cluster -save-merges' (required)")
+		sample = fs.Int("cuts", 12, "number of thresholds to sample")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mpath == "" {
+		return fmt.Errorf("analyze: -merges is required")
+	}
+	r, closeIn, err := openInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	g, err := linkclust.ReadGraph(r)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*mpath)
+	if err != nil {
+		return err
+	}
+	n, merges, err := core.ReadMerges(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	if n != g.NumEdges() {
+		return fmt.Errorf("analyze: merge stream is over %d edges but graph has %d", n, g.NumEdges())
+	}
+	d := dendro.New(n, merges)
+	ths := d.Thresholds()
+	if len(ths) == 0 {
+		fmt.Fprintln(stdout, "no merges: every edge is its own community")
+		return nil
+	}
+	step := len(ths) / *sample
+	if step < 1 {
+		step = 1
+	}
+	fmt.Fprintf(stdout, "%-10s %-9s %-9s %-9s %-9s\n", "sim>=", "clusters", "density", "coverage", "EQ")
+	bestDensity, bestTheta := -1.0, 0.0
+	for i := 0; i < len(ths); i += step {
+		theta := ths[i]
+		labels := d.CutSim(theta)
+		comms := linkclust.Communities(g, labels)
+		cover := linkclust.CoverOf(comms)
+		density := linkclust.PartitionDensity(g, labels)
+		eqCell := "-"
+		if eq, err := linkclust.OverlapModularity(g, cover); err == nil {
+			eqCell = fmt.Sprintf("%.4f", eq)
+		}
+		fmt.Fprintf(stdout, "%-10.4g %-9d %-9.4f %-9.4f %-9s\n",
+			theta, len(comms), density, linkclust.Coverage(g, cover), eqCell)
+		if density > bestDensity {
+			bestDensity, bestTheta = density, theta
+		}
+	}
+	fmt.Fprintf(stdout, "max partition density %.4f at sim >= %.4g\n", bestDensity, bestTheta)
+	return nil
+}
+
+// openInput returns stdin for path "-" or "" and the named file otherwise.
+func openInput(path string, stdin io.Reader) (io.Reader, func() error, error) {
+	if path == "" || path == "-" {
+		return stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func cmdSynth(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	var (
+		vocab  = fs.Int("vocab", 2000, "vocabulary size")
+		docs   = fs.Int("docs", 5000, "number of documents")
+		topics = fs.Int("topics", 16, "latent topics")
+		seed   = fs.Uint64("seed", 1, "PRNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := corpus.DefaultSynthConfig()
+	cfg.Vocab, cfg.Docs, cfg.Topics, cfg.Seed = *vocab, *docs, *topics, *seed
+	w := bufio.NewWriter(stdout)
+	for _, line := range corpus.SynthesizeRaw(cfg) {
+		fmt.Fprintln(w, line)
+	}
+	return w.Flush()
+}
+
+func cmdGraph(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "-", "input corpus, one document per line (- for stdin)")
+		alpha   = fs.Float64("alpha", 0.1, "fraction of most frequent candidate words to keep")
+		seed    = fs.Uint64("permseed", 42, "edge-id permutation seed (0 keeps construction order)")
+		workers = fs.Int("workers", 1, "worker threads for co-occurrence counting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, closeIn, err := openInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	c := linkclust.NewCorpus()
+	if err := c.ReadLines(r); err != nil {
+		return fmt.Errorf("reading corpus: %w", err)
+	}
+	g, err := linkclust.BuildWordGraph(c, *alpha, linkclust.AssocOptions{EdgePermSeed: *seed, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	return linkclust.WriteGraph(stdout, g)
+}
+
+func cmdStats(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	in := fs.String("in", "-", "input graph (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, closeIn, err := openInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	g, err := linkclust.ReadGraph(r)
+	if err != nil {
+		return err
+	}
+	s := linkclust.ComputeStats(g)
+	fmt.Fprintf(stdout, "vertices      %d\n", s.Vertices)
+	fmt.Fprintf(stdout, "edges         %d\n", s.Edges)
+	fmt.Fprintf(stdout, "density       %.6g\n", s.Density)
+	fmt.Fprintf(stdout, "K1            %d\n", s.K1)
+	fmt.Fprintf(stdout, "K2            %d\n", s.K2)
+	fmt.Fprintf(stdout, "K3            %d\n", s.K3)
+	fmt.Fprintf(stdout, "max degree    %d\n", s.MaxDegree)
+	fmt.Fprintf(stdout, "avg degree    %.6g\n", s.AvgDegree)
+	return nil
+}
+
+// cmdSimil runs only the initialization phase (Algorithm 1) and caches the
+// similarity pair list in the binary format, so repeated clustering runs
+// (different coarse parameters, different cuts) skip the most expensive
+// phase.
+func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simil", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "-", "input graph (- for stdin)")
+		out     = fs.String("out", "", "output pair-list file (required)")
+		workers = fs.Int("workers", 1, "worker threads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("simil: -out is required")
+	}
+	r, closeIn, err := openInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	g, err := linkclust.ReadGraph(r)
+	if err != nil {
+		return err
+	}
+	pl := core.SimilarityParallel(g, *workers)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := core.WritePairList(f, pl); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d pairs (%d incident edge pairs) to %s\n",
+		len(pl.Pairs), pl.NumIncidentPairs(), *out)
+	return nil
+}
+
+func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "-", "input graph (- for stdin)")
+		algo    = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
+		workers = fs.Int("workers", 1, "worker threads for init (and coarse sweep)")
+		gamma   = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
+		phi     = fs.Int("phi", 100, "coarse: stop below this many clusters")
+		delta0  = fs.Int64("delta0", 1000, "coarse: initial chunk size")
+		eta0    = fs.Float64("eta0", 8, "coarse: head-mode growth factor")
+		comms   = fs.Int("communities", 0, "print the N largest communities at the best-density cut")
+		merges  = fs.Bool("merges", false, "print the merge stream")
+		newick  = fs.String("newick", "", "write the dendrogram to this file in Newick format")
+		pairs   = fs.String("pairs", "", "read the similarity pair list from this file (skips phase I)")
+		saveTo  = fs.String("save-merges", "", "write the merge stream to this file in binary format")
+		dot     = fs.String("dot", "", "write a Graphviz DOT file with edges colored by best-cut community")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, closeIn, err := openInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	g, err := linkclust.ReadGraph(r)
+	if err != nil {
+		return err
+	}
+
+	// Phase I: from cache when -pairs is given, otherwise computed here.
+	var pl *linkclust.PairList
+	if *pairs != "" {
+		pf, err := os.Open(*pairs)
+		if err != nil {
+			return err
+		}
+		pl, err = core.ReadPairList(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		pl = linkclust.SimilarityParallel(g, *workers)
+	}
+
+	var (
+		mergeStream []linkclust.Merge
+		d           *linkclust.Dendrogram
+	)
+	switch *algo {
+	case "sweep":
+		res, err := linkclust.Sweep(g, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "algorithm      sweep\n")
+		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
+		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
+		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))
+		fmt.Fprintf(stdout, "final clusters %d\n", res.NumClusters())
+		mergeStream = res.Merges
+		d = linkclust.NewDendrogram(res)
+	case "coarse":
+		params := linkclust.CoarseParams{Gamma: *gamma, Phi: *phi, Delta0: *delta0, Eta0: *eta0, Workers: *workers}
+		res, err := linkclust.CoarseSweep(g, pl, params)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "algorithm      coarse (gamma=%v phi=%d delta0=%d eta0=%v workers=%d)\n",
+			*gamma, *phi, *delta0, *eta0, *workers)
+		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
+		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
+		fmt.Fprintf(stdout, "epochs         %d\n", len(res.Epochs))
+		fmt.Fprintf(stdout, "final clusters %d\n", res.FinalClusters)
+		fmt.Fprintf(stdout, "pairs processed %.1f%% of %d\n", 100*res.FractionProcessed(), res.TotalOps)
+		mergeStream = res.Merges
+		d = linkclust.NewCoarseDendrogram(res)
+	case "nbm":
+		es := baseline.NewEdgeSim(g, pl)
+		res, err := baseline.NBM(es)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "algorithm      standard single-linkage (next-best-merge)\n")
+		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
+		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))
+		fmt.Fprintf(stdout, "matrix bytes   %d\n", res.MatrixBytes)
+		mergeStream = res.Merges
+	case "slink":
+		es := baseline.NewEdgeSim(g, pl)
+		res := baseline.SLINK(es)
+		fmt.Fprintf(stdout, "algorithm      SLINK\n")
+		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
+		labels := res.CutSim(1e-12)
+		fmt.Fprintf(stdout, "clusters at sim>0: %d\n", countLabels(labels))
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q (want sweep, coarse, nbm or slink)", *algo)
+	}
+
+	if *merges {
+		for _, m := range mergeStream {
+			fmt.Fprintf(stdout, "level %d: %d, %d -> %d (sim %.6g)\n", m.Level, m.A, m.B, m.Into, m.Sim)
+		}
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteMerges(f, g.NumEdges(), mergeStream); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "merge stream written to %s\n", *saveTo)
+	}
+	if *newick != "" && d != nil {
+		f, err := os.Create(*newick)
+		if err != nil {
+			return err
+		}
+		leaf := func(e int32) string {
+			edge := g.Edge(int(e))
+			return g.Label(int(edge.U)) + "-" + g.Label(int(edge.V))
+		}
+		if err := d.WriteNewick(f, leaf); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "dendrogram written to %s\n", *newick)
+	}
+	if *dot != "" && d != nil {
+		_, _, labels := linkclust.BestCut(g, d)
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		if err := linkclust.WriteDOT(f, g, func(e int32) int32 { return labels[e] }); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "DOT graph written to %s\n", *dot)
+	}
+	if *comms > 0 && d != nil {
+		theta, density, labels := linkclust.BestCut(g, d)
+		fmt.Fprintf(stdout, "best cut: sim >= %.6g, partition density %.4f\n", theta, density)
+		cs := linkclust.Communities(g, labels)
+		for i, c := range cs {
+			if i >= *comms {
+				fmt.Fprintf(stdout, "... and %d more communities\n", len(cs)-i)
+				break
+			}
+			names := make([]string, 0, len(c.Nodes))
+			for _, v := range c.Nodes {
+				names = append(names, g.Label(int(v)))
+			}
+			const maxShown = 12
+			if len(names) > maxShown {
+				names = append(names[:maxShown], "...")
+			}
+			fmt.Fprintf(stdout, "community %d: %d links, %d nodes: %s\n",
+				i+1, len(c.Edges), len(c.Nodes), strings.Join(names, " "))
+		}
+	}
+	return nil
+}
+
+func countLabels(labels []int32) int {
+	set := make(map[int32]struct{}, len(labels))
+	for _, l := range labels {
+		set[l] = struct{}{}
+	}
+	return len(set)
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// pipeline produces a small corpus and graph through the actual subcommands.
+func pipeline(t *testing.T) string {
+	t.Helper()
+	var tweets bytes.Buffer
+	if err := run([]string{"synth", "-vocab", "300", "-docs", "800", "-topics", "6", "-seed", "3"}, nil, &tweets); err != nil {
+		t.Fatal(err)
+	}
+	if tweets.Len() == 0 {
+		t.Fatal("synth produced nothing")
+	}
+	var g bytes.Buffer
+	if err := run([]string{"graph", "-alpha", "0.3"}, &tweets, &g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(g.String(), "vertices ") {
+		t.Fatalf("graph output malformed: %.60s", g.String())
+	}
+	return g.String()
+}
+
+func TestPipelineStats(t *testing.T) {
+	gtext := pipeline(t)
+	var out bytes.Buffer
+	if err := run([]string{"stats"}, strings.NewReader(gtext), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"vertices", "edges", "K1", "K2", "density"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestClusterSweep(t *testing.T) {
+	gtext := pipeline(t)
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "sweep", "-communities", "3"}, strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm", "levels", "final clusters", "best cut", "community 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("cluster output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestClusterCoarseAndParallel(t *testing.T) {
+	gtext := pipeline(t)
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "coarse", "-phi", "10", "-delta0", "50", "-workers", "2"},
+		strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pairs processed") {
+		t.Fatalf("coarse output missing pairs processed:\n%s", out.String())
+	}
+}
+
+func TestClusterBaselines(t *testing.T) {
+	gtext := pipeline(t)
+	var out bytes.Buffer
+	if err := run([]string{"cluster", "-algo", "nbm"}, strings.NewReader(gtext), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matrix bytes") {
+		t.Fatalf("nbm output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"cluster", "-algo", "slink"}, strings.NewReader(gtext), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SLINK") {
+		t.Fatalf("slink output:\n%s", out.String())
+	}
+}
+
+func TestClusterMergesFlag(t *testing.T) {
+	gtext := pipeline(t)
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "sweep", "-merges"}, strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "level 1:") {
+		t.Fatalf("merge stream missing:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"cluster", "-algo", "quantum"},
+		{"graph", "-alpha", "7"},
+		{"stats", "-in", "/nonexistent/file"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestGraphEmptyCorpusFails(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"graph"}, strings.NewReader("\n\n"), &out); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestClusterNewickOutput(t *testing.T) {
+	gtext := pipeline(t)
+	path := t.TempDir() + "/dendro.nwk"
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "sweep", "-newick", path}, strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ";") || !strings.Contains(string(data), "(") {
+		t.Fatalf("newick output malformed: %.80s", data)
+	}
+	if !strings.Contains(out.String(), "dendrogram written") {
+		t.Fatalf("missing confirmation:\n%s", out.String())
+	}
+}
+
+func TestSimilCacheAndReuse(t *testing.T) {
+	gtext := pipeline(t)
+	dir := t.TempDir()
+	gpath := dir + "/graph.txt"
+	if err := os.WriteFile(gpath, []byte(gtext), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ppath := dir + "/pairs.bin"
+	var out bytes.Buffer
+	if err := run([]string{"simil", "-in", gpath, "-out", ppath, "-workers", "2"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("simil output:\n%s", out.String())
+	}
+
+	// Clustering from the cache must match clustering from scratch.
+	var fromCache, fromScratch bytes.Buffer
+	if err := run([]string{"cluster", "-in", gpath, "-pairs", ppath, "-algo", "sweep"}, nil, &fromCache); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cluster", "-in", gpath, "-algo", "sweep"}, nil, &fromScratch); err != nil {
+		t.Fatal(err)
+	}
+	if fromCache.String() != fromScratch.String() {
+		t.Fatalf("cached pairs changed the result:\n%s\nvs\n%s", fromCache.String(), fromScratch.String())
+	}
+}
+
+func TestSaveMerges(t *testing.T) {
+	gtext := pipeline(t)
+	path := t.TempDir() + "/merges.bin"
+	var out bytes.Buffer
+	if err := run([]string{"cluster", "-algo", "sweep", "-save-merges", path}, strings.NewReader(gtext), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 16 || string(data[:4]) != "LCMG" {
+		t.Fatalf("merge file malformed: %x", data[:min(16, len(data))])
+	}
+}
+
+func TestSimilRequiresOut(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"simil"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+		t.Fatal("simil without -out accepted")
+	}
+}
+
+func TestClusterDotOutput(t *testing.T) {
+	gtext := pipeline(t)
+	path := t.TempDir() + "/graph.dot"
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "sweep", "-dot", path}, strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph linkclust {") || !strings.Contains(string(data), "--") {
+		t.Fatalf("DOT malformed: %.100s", data)
+	}
+}
+
+func TestAnalyzeFromSavedMerges(t *testing.T) {
+	gtext := pipeline(t)
+	dir := t.TempDir()
+	gpath := dir + "/graph.txt"
+	if err := os.WriteFile(gpath, []byte(gtext), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mpath := dir + "/merges.bin"
+	var out bytes.Buffer
+	if err := run([]string{"cluster", "-in", gpath, "-algo", "sweep", "-save-merges", mpath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"analyze", "-in", gpath, "-merges", mpath, "-cuts", "5"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim>=", "clusters", "density", "coverage", "max partition density"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"analyze"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+		t.Fatal("analyze without -merges accepted")
+	}
+	if err := run([]string{"analyze", "-merges", "/nonexistent"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+		t.Fatal("missing merges file accepted")
+	}
+}
+
+func TestGraphWorkersFlagMatchesSerial(t *testing.T) {
+	var tweets bytes.Buffer
+	if err := run([]string{"synth", "-vocab", "200", "-docs", "400", "-topics", "4", "-seed", "8"}, nil, &tweets); err != nil {
+		t.Fatal(err)
+	}
+	raw := tweets.String()
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"graph", "-alpha", "0.4"}, strings.NewReader(raw), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"graph", "-alpha", "0.4", "-workers", "3"}, strings.NewReader(raw), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("parallel graph construction changed the output")
+	}
+}

@@ -1,0 +1,3 @@
+module linkclust
+
+go 1.24

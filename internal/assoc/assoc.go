@@ -1,0 +1,188 @@
+// Package assoc builds word-association networks from a processed corpus,
+// following Section III of the paper: vertices are the top fraction α of
+// candidate words by document frequency, and an edge joins words f_i and f_j
+// when the mutual-information-style weight of Eq. (3),
+//
+//	w_ij = p(X_i=1, X_j=1) · log( p(X_i=1, X_j=1) / (p(X_i=1)·p(X_j=1)) ),
+//
+// is positive, i.e. when the two words co-occur in documents more often than
+// independence predicts. Probabilities are maximum-likelihood estimates over
+// the document set.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"linkclust/internal/corpus"
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+// Options tunes network construction.
+type Options struct {
+	// MinPairCount drops word pairs co-occurring in fewer documents; 0 or
+	// 1 keeps every co-occurring pair (the paper's behaviour).
+	MinPairCount int
+	// EdgePermSeed, when non-zero, assigns edge ids in a seeded random
+	// permutation, matching the sweeping algorithm's requirement that
+	// edges be enumerated "in a random order". Zero keeps construction
+	// order.
+	EdgePermSeed uint64
+	// Workers > 1 counts co-occurrences with that many goroutines
+	// (per-worker maps over disjoint document ranges, merged pairwise —
+	// the same structure as the paper's parallel initialization). The
+	// resulting graph is identical to the serial one.
+	Workers int
+}
+
+// Build constructs the word-association graph over the top fraction alpha of
+// the corpus vocabulary (by non-ascending document frequency, the paper's
+// candidate order). It returns an error when the corpus is empty or alpha is
+// outside (0, 1].
+func Build(c *corpus.Corpus, alpha float64, opts Options) (*graph.Graph, error) {
+	if c.NumDocs() == 0 {
+		return nil, fmt.Errorf("assoc: corpus has no documents")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("assoc: fraction alpha %v outside (0,1]", alpha)
+	}
+	vocab := c.Vocabulary()
+	keep := int(math.Ceil(alpha * float64(len(vocab))))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(vocab) {
+		keep = len(vocab)
+	}
+	selected := vocab[:keep]
+	return BuildFromWords(c, selected, opts)
+}
+
+// BuildFromWords constructs the association graph over an explicit word set.
+// Words absent from the corpus are still vertices, just isolated ones.
+func BuildFromWords(c *corpus.Corpus, words []string, opts Options) (*graph.Graph, error) {
+	if c.NumDocs() == 0 {
+		return nil, fmt.Errorf("assoc: corpus has no documents")
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("assoc: empty word set")
+	}
+	index := make(map[string]int32, len(words))
+	for i, w := range words {
+		if _, dup := index[w]; dup {
+			return nil, fmt.Errorf("assoc: duplicate word %q", w)
+		}
+		index[w] = int32(i)
+	}
+
+	pairCount := countPairs(c, index, opts.Workers)
+
+	minCount := opts.MinPairCount
+	if minCount < 1 {
+		minCount = 1
+	}
+	// Insert edges in sorted pair order: map iteration order is
+	// randomized per process, and edge ids must be reproducible across
+	// runs (and identical for any Workers setting).
+	keys := make([]uint64, 0, len(pairCount))
+	for key := range pairCount {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	m := float64(c.NumDocs())
+	b := graph.NewLabeledBuilder(words)
+	for _, key := range keys {
+		cnt := pairCount[key]
+		if cnt < minCount {
+			continue
+		}
+		u, v := unpackPair(key)
+		joint := float64(cnt) / m
+		pu := float64(c.DocFreq(words[u])) / m
+		pv := float64(c.DocFreq(words[v])) / m
+		w := joint * math.Log(joint/(pu*pv))
+		if w > 0 {
+			if err := b.AddEdge(int(u), int(v), w); err != nil {
+				return nil, fmt.Errorf("assoc: %w", err)
+			}
+		}
+	}
+
+	var perm []int
+	if opts.EdgePermSeed != 0 {
+		perm = rng.New(opts.EdgePermSeed).Perm(b.NumEdges())
+	}
+	return b.Build(perm), nil
+}
+
+// countPairs tallies, for every selected word pair, the number of documents
+// containing both. Documents hold distinct terms, so each document
+// contributes at most once per pair. With workers > 1 the document range is
+// split across goroutines with private maps that are folded afterwards.
+func countPairs(c *corpus.Corpus, index map[string]int32, workers int) map[uint64]int {
+	countRange := func(lo, hi int, out map[uint64]int) {
+		var ids []int32
+		for d := lo; d < hi; d++ {
+			doc := c.Doc(d)
+			ids = ids[:0]
+			for _, t := range doc {
+				if id, ok := index[t]; ok {
+					ids = append(ids, id)
+				}
+			}
+			for i := 0; i < len(ids); i++ {
+				for j := i + 1; j < len(ids); j++ {
+					out[pairKey(ids[i], ids[j])]++
+				}
+			}
+		}
+	}
+	n := c.NumDocs()
+	if workers < 2 || n < 2*workers {
+		out := make(map[uint64]int)
+		countRange(0, n, out)
+		return out
+	}
+	parts := make([]map[uint64]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for t := 0; t < workers; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			out := make(map[uint64]int)
+			countRange(lo, hi, out)
+			parts[t] = out
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	total := make(map[uint64]int)
+	for _, part := range parts {
+		for k, v := range part {
+			total[k] += v
+		}
+	}
+	return total
+}
+
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func unpackPair(k uint64) (int32, int32) {
+	return int32(k >> 32), int32(uint32(k))
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig returns a configuration small enough for unit tests.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg, err := DefaultConfig(SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Corpus.Vocab = 600
+	cfg.Corpus.Docs = 1500
+	cfg.Corpus.Topics = 8
+	cfg.Repeats = 1
+	cfg.Threads = []int{1, 2}
+	cfg.MaxStandardEdges = 600
+	return cfg
+}
+
+func TestDefaultConfigSizes(t *testing.T) {
+	for _, s := range []Size{SizeSmall, SizeMedium, SizeLarge} {
+		cfg, err := DefaultConfig(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if len(cfg.Alphas) != 5 {
+			t.Fatalf("%s: %d alphas", s, len(cfg.Alphas))
+		}
+		if cfg.Corpus.Vocab <= 0 || cfg.Corpus.Docs <= 0 {
+			t.Fatalf("%s: empty corpus config", s)
+		}
+	}
+	if _, err := DefaultConfig("giant"); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestBuildWorkloads(t *testing.T) {
+	cfg := tinyConfig(t)
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != len(cfg.Alphas) {
+		t.Fatalf("%d workloads, want %d", len(wls), len(cfg.Alphas))
+	}
+	// Graph size grows with α.
+	for i := 1; i < len(wls); i++ {
+		if wls[i].Graph.NumVertices() < wls[i-1].Graph.NumVertices() {
+			t.Fatalf("vertex count shrank from α=%v to α=%v", wls[i-1].Alpha, wls[i].Alpha)
+		}
+	}
+}
+
+func TestDelta0PerAlpha(t *testing.T) {
+	cfg := tinyConfig(t)
+	if d := cfg.delta0For(0.005); d != 5000 {
+		t.Fatalf("delta0For(0.005) = %d, want 5000", d)
+	}
+	if d := cfg.delta0For(0.77); d != cfg.Coarse.Delta0 {
+		t.Fatalf("unknown alpha delta0 = %d, want default %d", d, cfg.Coarse.Delta0)
+	}
+	p := cfg.coarseFor(0.001, 4)
+	if p.Delta0 != 1000 || p.Workers != 4 {
+		t.Fatalf("coarseFor = %+v", p)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, time.Duration(1500*time.Millisecond))
+	tb.AddRow(nil, int64(7))
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a note", "1.500s", "2.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		0.0001:  "1.000e-04",
+		1e8:     "1.000e+08",
+		-0.25:   "-0.25",
+		-0.0001: "-1.000e-04",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRetainedBytes(t *testing.T) {
+	const sz = 1 << 20
+	delta, v := retainedBytes(func() any { return make([]byte, sz) })
+	if v == nil {
+		t.Fatal("value lost")
+	}
+	if delta < sz/2 {
+		t.Fatalf("retained %d bytes, expected ≈ %d", delta, sz)
+	}
+}
+
+func TestTimeItTakesMinimum(t *testing.T) {
+	calls := 0
+	d := timeIt(3, func() { calls++ })
+	if calls != 3 {
+		t.Fatalf("f called %d times, want 3", calls)
+	}
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	// repeats < 1 clamps to 1.
+	calls = 0
+	timeIt(0, func() { calls++ })
+	if calls != 1 {
+		t.Fatalf("clamped repeats called %d times", calls)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig4-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("all"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("fig9"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every experiment end to end on a tiny
+// workload — each must produce non-empty output without error.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := tinyConfig(t)
+	for _, e := range Experiments() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, cfg); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", e.Name)
+		}
+		if !strings.Contains(buf.String(), "==") {
+			t.Fatalf("%s output has no table header:\n%s", e.Name, buf.String())
+		}
+	}
+}

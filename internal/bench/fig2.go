@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"linkclust/internal/coarse"
+	"linkclust/internal/core"
+	"linkclust/internal/plot"
+	"linkclust/internal/sigmoid"
+)
+
+// Fig2_1 reproduces Fig. 2(1): the number of changes on array C per level
+// when the incident edge pairs are processed in fixed chunks of 1000, with
+// the level identifier normalized to [0, 1]. Levels are bucketed into
+// twenty bins for tabular display.
+func Fig2_1(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	// The paper's measurement uses its mid-size graph; we use the middle
+	// α of the sweep.
+	wl := wls[len(wls)/2]
+	tr, err := coarse.FixedChunks(wl.Graph, core.Similarity(wl.Graph), 1000)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Fig 2(1): changes on array C per level (α=%v, chunk=1000, %d levels)",
+			wl.Alpha, tr.NumLevels()),
+		Columns: []string{"norm-level", "changes", "clusters"},
+		Notes: []string{
+			"paper: most changes occur in the lower half of the levels",
+		},
+	}
+	const bins = 20
+	n := tr.NumLevels()
+	for b := 0; b < bins && n > 0; b++ {
+		lo, hi := b*n/bins, (b+1)*n/bins
+		if hi <= lo {
+			continue
+		}
+		var changes int64
+		for l := lo; l < hi; l++ {
+			changes += tr.Changes[l]
+		}
+		t.AddRow(float64(hi)/float64(n), changes, tr.Clusters[hi-1])
+	}
+	// The "lower half" observation, quantified.
+	var lower, total int64
+	for l := 0; l < n; l++ {
+		if l < n/2 {
+			lower += tr.Changes[l]
+		}
+		total += tr.Changes[l]
+	}
+	if total > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured: %.1f%% of changes in the lower half of levels",
+			100*float64(lower)/float64(total)))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig2_2 reproduces Fig. 2(2): the normalized cluster-count-versus-level
+// curves for three fractions, with the sigmoid model fitted to each and the
+// paper's example instance (a=-1, b=0.48, c=1, k=10) evaluated for
+// comparison.
+func Fig2_2(w io.Writer, cfg Config) error {
+	// The paper uses α ∈ {0.0005, 0.001, 0.005} for this experiment.
+	sub := cfg
+	sub.Alphas = []float64{0.0005, 0.001, 0.005}
+	wls, err := BuildWorkloads(sub)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Fig 2(2): sigmoid model of cluster count vs log level",
+		Columns: []string{"alpha", "levels", "fit-a", "fit-b", "fit-c", "fit-k", "fit-RMSE", "paper-model-RMSE"},
+		Notes: []string{
+			"curves are axis-normalized as in the paper; the example instance is y = -1/(1+e^{-10(log x - 0.48)}) + 1",
+		},
+	}
+	var curves []plot.Series
+	for _, wl := range wls {
+		pl := core.Similarity(wl.Graph)
+		// Equal-length chunks: target ~120 levels so the log axis is
+		// well resolved.
+		total := pl.NumIncidentPairs()
+		chunk := total / 120
+		if chunk < 1 {
+			chunk = 1
+		}
+		tr, err := coarse.FixedChunks(wl.Graph, pl, chunk)
+		if err != nil {
+			return err
+		}
+		xs := make([]float64, tr.NumLevels())
+		ys := make([]float64, tr.NumLevels())
+		for l := 0; l < tr.NumLevels(); l++ {
+			xs[l] = float64(l + 1)
+			ys[l] = float64(tr.Clusters[l])
+		}
+		nx, ny := sigmoid.Normalize(xs, ys)
+		fit, _, err := sigmoid.Fit(nx, ny, sigmoid.GuessFromData(nx, ny))
+		if err != nil {
+			return err
+		}
+		paper := sigmoid.PaperExampleModel()
+		t.AddRow(wl.Alpha, tr.NumLevels(),
+			fit.A, fit.B, fit.C, fit.K,
+			fit.RMSE(nx, ny), paper.RMSE(nx, ny))
+		curves = append(curves, plot.Series{
+			Name: fmt.Sprintf("α=%v", wl.Alpha),
+			X:    nx, Y: ny,
+		})
+	}
+	t.Fprint(w)
+	if len(curves) > 0 {
+		// Overlay the paper's example sigmoid over the same x span.
+		paper := sigmoid.PaperExampleModel()
+		var px, py []float64
+		for i := 0; i <= 60; i++ {
+			x := 1 + (float64(i)/60)*1.72 // e^1 ≈ 2.72: normalized log-x in [0,1]
+			px = append(px, x)
+			py = append(py, paper.Eval(x))
+		}
+		curves = append(curves, plot.Series{Name: "sigmoid(-1,0.48,1,10)", X: px, Y: py})
+		if err := plot.Render(w, curves, plot.Options{
+			Width: 68, Height: 18, LogX: true,
+			Title:  "normalized clusters vs log level (Fig 2(2) shape)",
+			XLabel: "normalized level (log scale)", YLabel: "normalized clusters",
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"io"
+
+	"linkclust/internal/coarse"
+	"linkclust/internal/core"
+)
+
+// Fig5_1 reproduces Fig. 5(1): the breakdown of coarse-grained epochs into
+// head/fresh, tail/fresh, rollback and reused, per fraction α, under the
+// paper's parameters (γ=2, φ=100, per-α δ0, η0=8).
+func Fig5_1(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Fig 5(1): coarse-grained epoch breakdown vs fraction α",
+		Columns: []string{"alpha", "delta0", "head/fresh", "tail/fresh", "rollback", "reused", "levels"},
+		Notes: []string{
+			"paper: few head epochs (chunks grow exponentially); most incident pairs are processed in the tail",
+		},
+	}
+	for _, wl := range wls {
+		pl := core.Similarity(wl.Graph)
+		res, err := coarse.Sweep(wl.Graph, pl, cfg.coarseFor(wl.Alpha, 1))
+		if err != nil {
+			return err
+		}
+		counts := map[coarse.EpochKind]int{}
+		for _, ep := range res.Epochs {
+			counts[ep.Kind]++
+		}
+		t.AddRow(wl.Alpha, cfg.delta0For(wl.Alpha),
+			counts[coarse.EpochHeadFresh], counts[coarse.EpochTailFresh],
+			counts[coarse.EpochRollback], counts[coarse.EpochReused],
+			res.Levels)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig5_2 reproduces Fig. 5(2): execution time and memory of coarse-grained
+// clustering versus the full fine-grained sweep, plus the fraction of
+// incident edge pairs actually processed (the paper reports 55.1% at
+// α = 0.005 — the early φ-stop is where the speedup comes from).
+func Fig5_2(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Fig 5(2): coarse-grained vs fine-grained sweeping",
+		Columns: []string{"alpha", "coarse-time", "sweep-time", "coarse-KB", "sweep-KB", "frac-processed"},
+		Notes: []string{
+			"paper: coarse-grained is faster (it stops below φ clusters, skipping the long tail) at comparable memory",
+		},
+	}
+	for _, wl := range wls {
+		g := wl.Graph
+		pl := core.Similarity(g)
+		params := cfg.coarseFor(wl.Alpha, 1)
+
+		var frac float64
+		coarseTime := timeIt(cfg.Repeats, func() {
+			res, err := coarse.Sweep(g, copyPairs(pl), params)
+			if err != nil {
+				panic(err)
+			}
+			frac = res.FractionProcessed()
+		})
+		sweepTime := timeIt(cfg.Repeats, func() {
+			if _, err := core.Sweep(g, copyPairs(pl)); err != nil {
+				panic(err)
+			}
+		})
+		// Retained set = the run's input pair list plus its outputs, the
+		// moral equivalent of the paper's whole-process memory reading.
+		coarseBytes, _ := retainedBytes(func() any {
+			run := copyPairs(pl)
+			res, err := coarse.Sweep(g, run, params)
+			if err != nil {
+				panic(err)
+			}
+			return [2]any{run, res}
+		})
+		sweepBytes, _ := retainedBytes(func() any {
+			run := copyPairs(pl)
+			res, err := core.Sweep(g, run)
+			if err != nil {
+				panic(err)
+			}
+			return [2]any{run, res}
+		})
+		keepAlive(pl)
+		t.AddRow(wl.Alpha, coarseTime, sweepTime, kb(coarseBytes), kb(sweepBytes), frac)
+	}
+	t.Fprint(w)
+	return nil
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"linkclust/internal/coarse"
+	"linkclust/internal/core"
+)
+
+// Fig6_1 reproduces Fig. 6(1): strong-scaling speedup of the parallel
+// initialization phase over the thread sweep, per fraction α. The paper
+// skips α = 0.0001 because its serial time is trivial; we keep every row
+// and let the reader discount the trivial ones.
+func Fig6_1(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Fig 6(1): initialization-phase speedup vs threads",
+		Columns: append([]string{"alpha"}, threadColumns(cfg.Threads)...),
+		Notes: []string{
+			"paper (6-core Xeon): ~2.0 at 2 threads, 3.5–4.0 at 4, 4.5–5.0 at 6",
+			fmt.Sprintf("this machine exposes %d CPU core(s); wall-clock speedup saturates there", runtime.NumCPU()),
+		},
+	}
+	for _, wl := range wls {
+		g := wl.Graph
+		times := make([]time.Duration, len(cfg.Threads))
+		for i, th := range cfg.Threads {
+			times[i] = timeIt(cfg.Repeats, func() { _ = core.SimilarityParallel(g, th) })
+		}
+		t.AddRow(speedupRow(wl.Alpha, cfg.Threads, times)...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig6_2 reproduces Fig. 6(2): strong-scaling speedup of the parallel
+// coarse-grained sweeping phase over the thread sweep, per fraction α.
+func Fig6_2(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Fig 6(2): sweeping-phase speedup vs threads",
+		Columns: append([]string{"alpha"}, threadColumns(cfg.Threads)...),
+		Notes: []string{
+			"paper: sweeping scales sublinearly (replica merging is partly serial) but positively",
+			fmt.Sprintf("this machine exposes %d CPU core(s); wall-clock speedup saturates there", runtime.NumCPU()),
+		},
+	}
+	for _, wl := range wls {
+		g := wl.Graph
+		pl := core.Similarity(g)
+		times := make([]time.Duration, len(cfg.Threads))
+		for i, th := range cfg.Threads {
+			params := cfg.coarseFor(wl.Alpha, th)
+			times[i] = timeIt(cfg.Repeats, func() {
+				if _, err := coarse.Sweep(g, copyPairs(pl), params); err != nil {
+					panic(err)
+				}
+			})
+		}
+		t.AddRow(speedupRow(wl.Alpha, cfg.Threads, times)...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func threadColumns(threads []int) []string {
+	cols := make([]string, len(threads))
+	for i, t := range threads {
+		cols[i] = fmt.Sprintf("T=%d", t)
+	}
+	return cols
+}
+
+// speedupRow renders one α row: the T=1 column shows the absolute time,
+// later columns the speedup relative to it.
+func speedupRow(alpha float64, threads []int, times []time.Duration) []any {
+	row := make([]any, 0, len(threads)+1)
+	row = append(row, alpha)
+	base := times[0]
+	for i := range threads {
+		if i == 0 {
+			row = append(row, formatSeconds(base)+" (1x)")
+			continue
+		}
+		if times[i] <= 0 {
+			row = append(row, "-")
+			continue
+		}
+		row = append(row, formatFloat(float64(base)/float64(times[i]))+"x")
+	}
+	return row
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// timeIt runs f repeats times and returns the minimum wall-clock duration —
+// the most stable point estimate on a shared machine.
+func timeIt(repeats int, f func()) time.Duration {
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// retainedBytes measures the live-heap growth attributable to the value f
+// builds and returns: GC, baseline, build, GC, remeasure while the result
+// is still referenced. This is our stand-in for the paper's virtual-memory
+// readings (DESIGN.md §2): it captures the retained footprint of the
+// algorithm's data structures.
+func retainedBytes(f func() any) (int64, any) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	v := f()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(v)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta, v
+}
+
+// kb renders a byte count as integral kilobytes, matching the paper's
+// KB-scaled memory plots.
+func kb(bytes int64) int64 {
+	return bytes / 1024
+}
+
+// keepAlive pins inputs shared across successive retainedBytes calls. A
+// measured closure's captured variables die at their last use *inside* the
+// closure, so without the pin the after-GC frees them mid-measurement and
+// the delta under-counts (or clamps to zero).
+func keepAlive(v any) { runtime.KeepAlive(v) }

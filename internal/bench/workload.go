@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"linkclust/internal/assoc"
+	"linkclust/internal/corpus"
+	"linkclust/internal/graph"
+)
+
+// Workload is one α point of the sweep: a word-association graph built from
+// the shared synthetic corpus.
+type Workload struct {
+	// Alpha is the paper-style fraction label.
+	Alpha float64
+	// Graph is the word-association network at this fraction.
+	Graph *graph.Graph
+}
+
+// BuildWorkloads synthesizes the corpus once and constructs the association
+// graph for every α in cfg. Fractions whose scaled value exceeds 1 are
+// clamped to the full vocabulary.
+func BuildWorkloads(cfg Config) ([]Workload, error) {
+	c := corpus.Synthesize(cfg.Corpus)
+	return buildWorkloadsFrom(c, cfg)
+}
+
+func buildWorkloadsFrom(c *corpus.Corpus, cfg Config) ([]Workload, error) {
+	out := make([]Workload, 0, len(cfg.Alphas))
+	for _, alpha := range cfg.Alphas {
+		eff := alpha * cfg.AlphaScale
+		if eff > 1 {
+			eff = 1
+		}
+		g, err := assoc.Build(c, eff, assoc.Options{EdgePermSeed: cfg.EdgePermSeed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: building graph for alpha %v: %w", alpha, err)
+		}
+		out = append(out, Workload{Alpha: alpha, Graph: g})
+	}
+	return out, nil
+}

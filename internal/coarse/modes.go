@@ -1,0 +1,58 @@
+package coarse
+
+// Mode is a state of the mode-transition machine of Fig. 2(3).
+type Mode int
+
+const (
+	// ModeHead: at least half the edges are still singleton-ish clusters
+	// (β > |E|/2); chunk sizes grow exponentially.
+	ModeHead Mode = iota + 1
+	// ModeTail: fewer than half the edges remain as clusters; chunk sizes
+	// are extrapolated from the cluster-count slope.
+	ModeTail
+	// ModeRollback: the last chunk merged clusters faster than γ allows;
+	// the epoch is rolled back and retried with a smaller chunk.
+	ModeRollback
+	// ModeDone: fewer than φ clusters remain; the dendrogram is complete.
+	ModeDone
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHead:
+		return "head"
+	case ModeTail:
+		return "tail"
+	case ModeRollback:
+		return "rollback"
+	case ModeDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// NextMode evaluates the transition machine on the three predicates of
+// Section V-A, computed at the end of an epoch:
+//
+//	c1: β' ≤ |E|/2 — the cluster count has passed the head/tail boundary;
+//	c2: β/β' ≤ γ  — the soundness constraint held for this chunk;
+//	c3: β' ≤ φ    — few enough clusters remain to finish.
+//
+// Because β' never increases, c1 is monotone and the machine needs no
+// memory beyond the predicates: a sound epoch lands in head or tail
+// according to c1, an unsound one in rollback, and c3 terminates from any
+// state.
+func NextMode(c1, c2, c3 bool) Mode {
+	switch {
+	case c3:
+		return ModeDone
+	case !c2:
+		return ModeRollback
+	case c1:
+		return ModeTail
+	default:
+		return ModeHead
+	}
+}

@@ -1,0 +1,59 @@
+package coarse
+
+import (
+	"sync"
+
+	"linkclust/internal/core"
+)
+
+// parallelMerge processes one chunk's incident edge pairs with the
+// multi-threaded scheme of Section VI-B: each of the workers merges a
+// round-robin partition of ops on its own replica of array C, then the
+// replicas are combined pairwise (and hierarchically) with the corrected
+// core.MergeChains scheme until at most three remain, which are folded by a
+// single worker. The combined array replaces ch's contents and all replica
+// rewrites are added to ch's change counter.
+func parallelMerge(ch *core.Chain, ops [][2]int32, workers int) {
+	replicas := make([]*core.Chain, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := ch.Clone()
+			for i := t; i < len(ops); i += workers {
+				r.Merge(ops[i][0], ops[i][1])
+			}
+			replicas[t] = r
+		}(t)
+	}
+	wg.Wait()
+
+	for len(replicas) > 3 {
+		half := len(replicas) / 2
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				core.MergeChains(replicas[2*i], replicas[2*i+1])
+				replicas[2*i].AddChanges(replicas[2*i+1].Changes())
+			}(i)
+		}
+		wg.Wait()
+		next := make([]*core.Chain, 0, half+1)
+		for i := 0; i < half; i++ {
+			next = append(next, replicas[2*i])
+		}
+		if len(replicas)%2 == 1 {
+			next = append(next, replicas[len(replicas)-1])
+		}
+		replicas = next
+	}
+	combined := replicas[0]
+	for _, other := range replicas[1:] {
+		core.MergeChains(combined, other)
+		combined.AddChanges(other.Changes())
+	}
+	ch.Restore(combined.Snapshot())
+	ch.AddChanges(combined.Changes())
+}

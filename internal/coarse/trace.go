@@ -1,0 +1,77 @@
+package coarse
+
+import (
+	"fmt"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+)
+
+// Trace is the per-chunk instrumentation of a fixed-chunk sweep — the
+// measurement behind Fig. 2(1) (changes on array C per level) and Fig. 2(2)
+// (cluster count versus level). Index l of the slices describes chunk/level
+// l+1.
+type Trace struct {
+	// ChunkPairs is the fixed chunk size in incident edge pairs.
+	ChunkPairs int64
+	// Clusters[l] is the cluster count after chunk l+1.
+	Clusters []int
+	// Changes[l] is the number of array-C rewrites during chunk l+1.
+	Changes []int64
+	// Ops[l] is the cumulative number of incident pairs processed after
+	// chunk l+1.
+	Ops []int64
+	// TotalOps is K2.
+	TotalOps int64
+}
+
+// NumLevels returns the number of chunks processed.
+func (t *Trace) NumLevels() int { return len(t.Clusters) }
+
+// FixedChunks processes the whole sorted pair list in fixed-size chunks of
+// chunkPairs incident edge pairs (vertex pairs stay atomic), recording the
+// cluster count and array-C change count after every chunk. Unlike Sweep it
+// applies no soundness constraint and runs to the end of the list.
+func FixedChunks(g *graph.Graph, pl *core.PairList, chunkPairs int64) (*Trace, error) {
+	if chunkPairs < 1 {
+		return nil, fmt.Errorf("coarse: chunk size must be at least 1, got %d", chunkPairs)
+	}
+	w, err := buildWorkList(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{ChunkPairs: chunkPairs, TotalOps: w.totalOps()}
+	ch := core.NewChain(g.NumEdges())
+	var xi, boundary int64
+	p := 0
+	for p < w.numPairs() {
+		boundary += chunkPairs
+		start := p
+		before := ch.Changes()
+		for p < w.numPairs() {
+			cnt := w.opCount(p)
+			if p > start && xi+cnt >= boundary {
+				break
+			}
+			ops, err := w.opsOf(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, op := range ops {
+				ch.Merge(op[0], op[1])
+			}
+			xi += cnt
+			p++
+			if xi >= boundary {
+				break
+			}
+		}
+		if xi > boundary {
+			boundary = xi // an oversized atomic pair overflowed the chunk
+		}
+		tr.Clusters = append(tr.Clusters, ch.NumClusters())
+		tr.Changes = append(tr.Changes, ch.Changes()-before)
+		tr.Ops = append(tr.Ops, xi)
+	}
+	return tr, nil
+}

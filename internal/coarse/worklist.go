@@ -1,0 +1,73 @@
+// Package coarse implements Section V of the paper: coarse-grained
+// hierarchical link clustering. The sorted pair list is processed in chunks,
+// one dendrogram level per chunk, under the soundness constraint that the
+// cluster count shrinks by at most a factor γ between consecutive levels,
+// stopping once fewer than φ clusters remain. A mode-transition machine
+// (head / tail / rollback, Fig. 2(3)) drives chunk-size estimation:
+// exponential growth in the head, slope extrapolation toward the target
+// merge rate γ̃ = (1+γ)/2 in the tail and after rollbacks, and reuse of
+// saved rollback states to avoid recomputation.
+//
+// The chunk structure also provides the synchronization points for the
+// multi-threaded sweeping phase of Section VI-B: within a chunk, each worker
+// merges a partition of the incident edge pairs on its own replica of array
+// C, and the replicas are combined pairwise with core.MergeChains.
+package coarse
+
+import (
+	"fmt"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+)
+
+// workList adapts the sorted list L for chunked processing. Edge lookups
+// are resolved lazily, pair by pair: the whole point of coarse-grained
+// clustering is that the tail of the list is never processed, so its
+// incident edge pairs must never be touched (an eager K2-sized
+// precomputation would dominate the runtime the early stop saves).
+type workList struct {
+	g     *graph.Graph
+	pairs []core.Pair
+	total int64
+	buf   [][2]int32 // scratch reused across opsOf calls
+}
+
+// buildWorkList wraps the pair list, sorting it if needed.
+func buildWorkList(g *graph.Graph, pl *core.PairList) (*workList, error) {
+	pl.Sort()
+	return &workList{g: g, pairs: pl.Pairs, total: pl.NumIncidentPairs()}, nil
+}
+
+// numPairs returns the number of vertex pairs (entries of L).
+func (w *workList) numPairs() int { return len(w.pairs) }
+
+// totalOps returns the total number of incident edge pairs (K2).
+func (w *workList) totalOps() int64 { return w.total }
+
+// sim returns the similarity of vertex pair p.
+func (w *workList) sim(p int) float64 { return w.pairs[p].Sim }
+
+// opsOf resolves the merge operations of vertex pair p: for each common
+// neighbor k of (U, V), the edge pair ((U,k), (V,k)). The returned slice is
+// valid until the next opsOf call. An error indicates the pair list was
+// built from a different graph.
+func (w *workList) opsOf(p int) ([][2]int32, error) {
+	pr := &w.pairs[p]
+	w.buf = w.buf[:0]
+	for _, k := range pr.Common {
+		e1, ok1 := w.g.EdgeBetween(int(pr.U), int(k))
+		e2, ok2 := w.g.EdgeBetween(int(pr.V), int(k))
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("coarse: pair (%d,%d) common neighbor %d has no incident edges in graph", pr.U, pr.V, k)
+		}
+		w.buf = append(w.buf, [2]int32{e1, e2})
+	}
+	return w.buf, nil
+}
+
+// opCount returns |l| for vertex pair p — the number of incident edge pairs
+// it contributes.
+func (w *workList) opCount(p int) int64 {
+	return int64(len(w.pairs[p].Common))
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+func TestCompactPreservesContent(t *testing.T) {
+	g := graph.ErdosRenyi(35, 0.25, rng.New(1))
+	pl := Similarity(g)
+	c := Compact(pl)
+	if c.NumPairs() != len(pl.Pairs) {
+		t.Fatalf("pairs %d, want %d", c.NumPairs(), len(pl.Pairs))
+	}
+	if c.NumIncidentPairs() != pl.NumIncidentPairs() {
+		t.Fatalf("ops %d, want %d", c.NumIncidentPairs(), pl.NumIncidentPairs())
+	}
+	for i := range pl.Pairs {
+		a, b := pl.Pairs[i], c.PairAt(i)
+		if a.U != b.U || a.V != b.V || a.Sim != b.Sim || len(a.Common) != len(b.Common) {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Common {
+			if a.Common[j] != b.Common[j] {
+				t.Fatalf("pair %d common %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCompactSortMatchesPairListSort(t *testing.T) {
+	g := graph.ErdosRenyi(30, 0.3, rng.New(2))
+	pl := Similarity(g)
+	c := Compact(pl)
+	pl.Sort()
+	c.Sort()
+	if !c.Sorted() {
+		t.Fatal("Sorted() false after Sort")
+	}
+	for i := range pl.Pairs {
+		a, b := pl.Pairs[i], c.PairAt(i)
+		if a.U != b.U || a.V != b.V || a.Sim != b.Sim {
+			t.Fatalf("sorted pair %d differs: (%d,%d,%v) vs (%d,%d,%v)",
+				i, a.U, a.V, a.Sim, b.U, b.V, b.Sim)
+		}
+		for j := range a.Common {
+			if a.Common[j] != b.Common[j] {
+				t.Fatalf("sorted pair %d commons differ", i)
+			}
+		}
+	}
+	// Idempotent.
+	c.Sort()
+}
+
+func TestSweepCompactEqualsSweep(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.ErdosRenyi(30, 0.25, rng.New(seed))
+		pl := Similarity(g)
+		c := Compact(pl)
+		a, err := Sweep(g, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SweepCompact(g, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Merges) != len(b.Merges) || a.Levels != b.Levels || a.PairsProcessed != b.PairsProcessed {
+			t.Fatalf("seed %d: results differ (%d/%d merges)", seed, len(a.Merges), len(b.Merges))
+		}
+		for i := range a.Merges {
+			if a.Merges[i] != b.Merges[i] {
+				t.Fatalf("seed %d: merge %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestSweepCompactForeignGraphFails(t *testing.T) {
+	c := Compact(Similarity(graph.Complete(5)))
+	if _, err := SweepCompact(graph.DisjointEdges(5), c); err == nil {
+		t.Fatal("foreign compact list accepted")
+	}
+}
+
+func TestCompactMemorySmaller(t *testing.T) {
+	g := graph.ErdosRenyi(50, 0.3, rng.New(3))
+	pl := Similarity(g)
+	c := Compact(pl)
+	// Naive layout: 40-byte struct (with slice header) + 4 bytes/common.
+	naive := int64(len(pl.Pairs))*40 + pl.NumIncidentPairs()*4
+	if c.MemoryBytes() >= naive {
+		t.Fatalf("compact %d bytes not smaller than naive %d", c.MemoryBytes(), naive)
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	c := Compact(&PairList{})
+	if c.NumPairs() != 0 || c.NumIncidentPairs() != 0 {
+		t.Fatal("empty compact not empty")
+	}
+	c.Sort()
+	res, err := SweepCompact(graph.NewBuilder(3).Build(nil), c)
+	if err != nil || len(res.Merges) != 0 {
+		t.Fatalf("empty sweep: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary persistence for the two artifacts worth caching across process
+// invocations: the pair list (the initialization phase's output, often the
+// most expensive part of the pipeline) and merge streams (dendrograms).
+// The format is little-endian with a magic string and version so files are
+// self-identifying; readers validate counts and reject truncated input.
+
+const (
+	pairListMagic = "LCPL"
+	mergesMagic   = "LCMG"
+	formatVersion = 1
+)
+
+// maxDecodeCount bounds per-collection element counts during decoding so a
+// corrupted header cannot trigger an enormous allocation.
+const maxDecodeCount = 1 << 31
+
+// WritePairList serializes pl (including sort state and common-neighbor
+// lists) to w.
+func WritePairList(w io.Writer, pl *PairList) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(pairListMagic); err != nil {
+		return err
+	}
+	sorted := uint32(0)
+	if pl.sorted {
+		sorted = 1
+	}
+	for _, v := range []uint32{formatVersion, sorted, uint32(len(pl.Pairs))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i := range pl.Pairs {
+		p := &pl.Pairs[i]
+		if err := binary.Write(bw, binary.LittleEndian, p.U); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.V); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(p.Sim)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Common))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Common); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPairList deserializes a pair list written by WritePairList.
+func ReadPairList(r io.Reader) (*PairList, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, pairListMagic); err != nil {
+		return nil, err
+	}
+	var version, sorted, count uint32
+	for _, v := range []*uint32{&version, &sorted, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: pair list header: %w", err)
+		}
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("core: unsupported pair list version %d", version)
+	}
+	if count > maxDecodeCount {
+		return nil, fmt.Errorf("core: implausible pair count %d", count)
+	}
+	pl := &PairList{Pairs: make([]Pair, count), sorted: sorted == 1}
+	for i := range pl.Pairs {
+		p := &pl.Pairs[i]
+		var bits uint64
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &p.U); err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &p.V); err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		p.Sim = math.Float64frombits(bits)
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+		if n > maxDecodeCount {
+			return nil, fmt.Errorf("core: pair %d: implausible common count %d", i, n)
+		}
+		p.Common = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, p.Common); err != nil {
+			return nil, fmt.Errorf("core: pair %d commons: %w", i, err)
+		}
+	}
+	return pl, nil
+}
+
+// WriteMerges serializes a merge stream over n edges to w.
+func WriteMerges(w io.Writer, n int, merges []Merge) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(mergesMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{formatVersion, uint32(n), uint32(len(merges))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i := range merges {
+		m := &merges[i]
+		for _, v := range []int32{m.Level, m.A, m.B, m.Into} {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(m.Sim)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMerges deserializes a merge stream written by WriteMerges, returning
+// the edge count and the merges.
+func ReadMerges(r io.Reader) (int, []Merge, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, mergesMagic); err != nil {
+		return 0, nil, err
+	}
+	var version, n, count uint32
+	for _, v := range []*uint32{&version, &n, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return 0, nil, fmt.Errorf("core: merges header: %w", err)
+		}
+	}
+	if version != formatVersion {
+		return 0, nil, fmt.Errorf("core: unsupported merges version %d", version)
+	}
+	if count > maxDecodeCount || n > maxDecodeCount {
+		return 0, nil, fmt.Errorf("core: implausible merges header (n=%d count=%d)", n, count)
+	}
+	merges := make([]Merge, count)
+	for i := range merges {
+		m := &merges[i]
+		for _, v := range []*int32{&m.Level, &m.A, &m.B, &m.Into} {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return 0, nil, fmt.Errorf("core: merge %d: %w", i, err)
+			}
+		}
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return 0, nil, fmt.Errorf("core: merge %d: %w", i, err)
+		}
+		m.Sim = math.Float64frombits(bits)
+		if m.A < 0 || m.B < 0 || m.Into < 0 || m.A >= int32(n) || m.B >= int32(n) || m.Into >= int32(n) {
+			return 0, nil, fmt.Errorf("core: merge %d references edge outside [0,%d)", i, n)
+		}
+	}
+	return int(n), merges, nil
+}
+
+func expectMagic(br *bufio.Reader, magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("core: bad magic %q, want %q", buf, magic)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package core implements the paper's primary contribution: the two-phase
+// serial link-clustering algorithm (Algorithms 1 and 2), the chain array C
+// with its F(i)/MERGE primitives (Theorem 1), and the multi-threaded
+// parallelization of the initialization phase (Section VI-A) together with
+// the corrected pairwise chain-merge scheme used by the parallel sweeping
+// phase (Section VI-B).
+//
+// Terminology maps one-to-one onto the paper: Similarity is Algorithm 1 and
+// produces the map M as a PairList; Sweep is Algorithm 2 and produces the
+// dendrogram's merge stream; Chain is the array C.
+package core
+
+import (
+	"sort"
+
+	"linkclust/internal/graph"
+)
+
+// Pair is one key/value of the paper's map M: a vertex pair sharing at
+// least one common neighbor, its Tanimoto similarity (Eq. 1), and the list
+// of shared neighbors. For every common neighbor k, the two incident edges
+// (U,k) and (V,k) have similarity Sim.
+type Pair struct {
+	U, V int32
+	Sim  float64
+	// Common is the list of shared neighbors, ascending. It aliases the
+	// PairList's arena; callers must not modify it.
+	Common []int32
+}
+
+// PairList is the materialized map M of Algorithm 1 plus the similarity
+// scores. After Sort it is the list L of Algorithm 2.
+type PairList struct {
+	Pairs  []Pair
+	sorted bool
+}
+
+// NumIncidentPairs returns the total number of incident edge pairs the list
+// drives, i.e. the sum of common-neighbor counts (= K2 of the graph).
+func (pl *PairList) NumIncidentPairs() int64 {
+	var n int64
+	for i := range pl.Pairs {
+		n += int64(len(pl.Pairs[i].Common))
+	}
+	return n
+}
+
+// Sort orders the pairs by non-increasing similarity, breaking ties by
+// (U, V) ascending so runs are deterministic. Sorting is idempotent.
+func (pl *PairList) Sort() {
+	if pl.sorted {
+		return
+	}
+	sort.Slice(pl.Pairs, func(i, j int) bool {
+		a, b := &pl.Pairs[i], &pl.Pairs[j]
+		if a.Sim != b.Sim {
+			return a.Sim > b.Sim
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	pl.sorted = true
+}
+
+// Sorted reports whether Sort has run.
+func (pl *PairList) Sorted() bool { return pl.sorted }
+
+// link is one node of the per-pair common-neighbor linked list used during
+// accumulation; lists are materialized into a contiguous arena at finalize.
+type link struct {
+	v    int32
+	next int32 // index into links, -1 terminates
+}
+
+// accumEntry is the in-progress value of one map-M key.
+type accumEntry struct {
+	u, v int32
+	dot  float64
+	head int32 // first link, -1 when none
+	n    int32 // number of common neighbors
+}
+
+// accumulator builds map M incrementally. Each worker of the parallel
+// initialization owns one; mergeFrom combines them (Section VI-A, pass 2,
+// step 2).
+type accumulator struct {
+	idx     map[uint64]int32 // packed pair -> entries index
+	entries []accumEntry
+	links   []link
+}
+
+func newAccumulator(hint int) *accumulator {
+	return &accumulator{idx: make(map[uint64]int32, hint)}
+}
+
+func packPair(u, v int32) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// add accumulates one weight product and one common neighbor for the pair
+// (u, v), which must satisfy u < v.
+func (a *accumulator) add(u, v int32, prod float64, common int32) {
+	key := packPair(u, v)
+	i, ok := a.idx[key]
+	if !ok {
+		i = int32(len(a.entries))
+		a.idx[key] = i
+		a.entries = append(a.entries, accumEntry{u: u, v: v, head: -1})
+	}
+	e := &a.entries[i]
+	e.dot += prod
+	a.links = append(a.links, link{v: common, next: e.head})
+	e.head = int32(len(a.links) - 1)
+	e.n++
+}
+
+// addDot adds to the inner product of an existing pair without contributing
+// a common neighbor (pass 3 of Algorithm 1). Pairs not already present are
+// ignored, mirroring the "if (vi,vj) is a key of map M" guard.
+func (a *accumulator) addDot(u, v int32, prod float64) {
+	if i, ok := a.idx[packPair(u, v)]; ok {
+		a.entries[i].dot += prod
+	}
+}
+
+// mergeFrom folds b into a. b's link indices are rebased into a's arena.
+func (a *accumulator) mergeFrom(b *accumulator) {
+	for _, be := range b.entries {
+		key := packPair(be.u, be.v)
+		i, ok := a.idx[key]
+		if !ok {
+			i = int32(len(a.entries))
+			a.idx[key] = i
+			a.entries = append(a.entries, accumEntry{u: be.u, v: be.v, head: -1})
+		}
+		e := &a.entries[i]
+		e.dot += be.dot
+		for li := be.head; li >= 0; li = b.links[li].next {
+			a.links = append(a.links, link{v: b.links[li].v, next: e.head})
+			e.head = int32(len(a.links) - 1)
+			e.n++
+		}
+	}
+}
+
+// vertexNorms computes H1 (average incident weight, the diagonal term Ã_ii)
+// and H2 (|a_i|²) for vertices lo <= v < hi — pass 1 of Algorithm 1.
+func vertexNorms(g *graph.Graph, h1, h2 []float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nb := g.Neighbors(v)
+		if len(nb) == 0 {
+			continue
+		}
+		var sum, sumSq float64
+		for _, h := range nb {
+			sum += h.Weight
+			sumSq += h.Weight * h.Weight
+		}
+		avg := sum / float64(len(nb))
+		h1[v] = avg
+		h2[v] = avg*avg + sumSq
+	}
+}
+
+// accumulateCommon runs pass 2 of Algorithm 1 for vertices lo <= v < hi:
+// every ordered neighbor pair (vj < vk) of v contributes w_vj·w_vk and the
+// common neighbor v to pair (vj, vk).
+func accumulateCommon(g *graph.Graph, acc *accumulator, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		nb := g.Neighbors(v)
+		for j := 0; j < len(nb); j++ {
+			for k := j + 1; k < len(nb); k++ {
+				// Adjacency is sorted, so nb[j].To < nb[k].To.
+				acc.add(nb[j].To, nb[k].To, nb[j].Weight*nb[k].Weight, int32(v))
+			}
+		}
+	}
+}
+
+// finalize applies pass 3 (the (H1[i]+H1[j])·w_ij diagonal contribution for
+// vertex pairs that are edges) and the closing similarity normalization of
+// Algorithm 1, and materializes the PairList.
+func (a *accumulator) finalize(g *graph.Graph, h1, h2 []float64) *PairList {
+	for _, e := range g.Edges() {
+		a.addDot(e.U, e.V, (h1[e.U]+h1[e.V])*e.Weight)
+	}
+	return a.materialize(h2)
+}
+
+// materialize converts the accumulator into a PairList, computing the
+// Tanimoto score sim = dot / (H2[u] + H2[v] - dot) for every pair.
+func (a *accumulator) materialize(h2 []float64) *PairList {
+	arena := make([]int32, 0, len(a.links))
+	pairs := make([]Pair, len(a.entries))
+	for i := range a.entries {
+		e := &a.entries[i]
+		start := len(arena)
+		for li := e.head; li >= 0; li = a.links[li].next {
+			arena = append(arena, a.links[li].v)
+		}
+		common := arena[start : start+int(e.n)]
+		// The linked list reversed insertion order; restore ascending
+		// order for determinism.
+		sort.Slice(common, func(x, y int) bool { return common[x] < common[y] })
+		pairs[i] = Pair{
+			U:      e.u,
+			V:      e.v,
+			Sim:    e.dot / (h2[e.u] + h2[e.v] - e.dot),
+			Common: common,
+		}
+	}
+	return &PairList{Pairs: pairs}
+}
+
+// Similarity runs Algorithm 1 serially: three passes over g producing the
+// similarity-annotated pair list (map M). The result is deterministic: pairs
+// appear in first-encounter order (vertex-major) until Sort is called.
+func Similarity(g *graph.Graph) *PairList {
+	n := g.NumVertices()
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+	vertexNorms(g, h1, h2, 0, n)
+	acc := newAccumulator(g.NumEdges())
+	accumulateCommon(g, acc, 0, n)
+	return acc.finalize(g, h1, h2)
+}

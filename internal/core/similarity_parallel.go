@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"linkclust/internal/graph"
+)
+
+// SimilarityParallel runs Algorithm 1 with the multi-threaded scheme of
+// Section VI-A:
+//
+//   - pass 1 partitions the vertices round-robin across workers (disjoint
+//     writes to H1/H2);
+//   - pass 2 gives each worker a private accumulator over its vertex set,
+//     then merges the per-worker maps pairwise and hierarchically until at
+//     most three remain, which a single worker folds together;
+//   - pass 3 has every worker scan the full edge list but update only the
+//     map entries whose first vertex hashes to that worker, so no two
+//     workers touch the same entry;
+//   - the closing normalization/materialization is partitioned by entry
+//     ranges with precomputed arena offsets.
+//
+// The resulting PairList contains exactly the same pairs, similarities and
+// common-neighbor sets as Similarity(g); after Sort the two are identical
+// element-wise. workers < 2 falls back to the serial implementation.
+func SimilarityParallel(g *graph.Graph, workers int) *PairList {
+	if workers < 2 {
+		return Similarity(g)
+	}
+	n := g.NumVertices()
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+
+	// Pass 1: round-robin vertex partition.
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for v := t; v < n; v += workers {
+				vertexNorms(g, h1, h2, v, v+1)
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	// Pass 2, step 1: per-worker accumulators over round-robin vertices.
+	accs := make([]*accumulator, workers)
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			acc := newAccumulator(g.NumEdges() / workers)
+			for v := t; v < n; v += workers {
+				accumulateCommon(g, acc, v, v+1)
+			}
+			accs[t] = acc
+		}(t)
+	}
+	wg.Wait()
+
+	// Pass 2, step 2: hierarchical pairwise merge; a single worker folds
+	// the final <= 3 maps (the paper's T=6 walkthrough).
+	for len(accs) > 3 {
+		half := len(accs) / 2
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				accs[2*i].mergeFrom(accs[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		next := make([]*accumulator, 0, half+1)
+		for i := 0; i < half; i++ {
+			next = append(next, accs[2*i])
+		}
+		if len(accs)%2 == 1 {
+			next = append(next, accs[len(accs)-1])
+		}
+		accs = next
+	}
+	acc := accs[0]
+	for _, other := range accs[1:] {
+		acc.mergeFrom(other)
+	}
+
+	// Pass 3: all workers scan every edge; worker t updates only entries
+	// whose first vertex hashes to t. Map reads are concurrent-safe and
+	// entry writes are disjoint.
+	edges := g.Edges()
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for _, e := range edges {
+				if int(e.U)%workers != t {
+					continue
+				}
+				acc.addDot(e.U, e.V, (h1[e.U]+h1[e.V])*e.Weight)
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	return acc.materializeParallel(h2, workers)
+}
+
+// materializeParallel is materialize with the per-entry work split across
+// workers using precomputed arena offsets.
+func (a *accumulator) materializeParallel(h2 []float64, workers int) *PairList {
+	offsets := make([]int64, len(a.entries)+1)
+	for i := range a.entries {
+		offsets[i+1] = offsets[i] + int64(a.entries[i].n)
+	}
+	arena := make([]int32, offsets[len(a.entries)])
+	pairs := make([]Pair, len(a.entries))
+
+	var wg sync.WaitGroup
+	chunk := (len(a.entries) + workers - 1) / workers
+	for t := 0; t < workers; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(a.entries) {
+			hi = len(a.entries)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				e := &a.entries[i]
+				common := arena[offsets[i]:offsets[i+1]:offsets[i+1]]
+				common = common[:0]
+				for li := e.head; li >= 0; li = a.links[li].next {
+					common = append(common, a.links[li].v)
+				}
+				sort.Slice(common, func(x, y int) bool { return common[x] < common[y] })
+				pairs[i] = Pair{
+					U:      e.u,
+					V:      e.v,
+					Sim:    e.dot / (h2[e.u] + h2[e.v] - e.dot),
+					Common: common,
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return &PairList{Pairs: pairs}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"linkclust/internal/graph"
+)
+
+// Merge is one dendrogram event: at Level, clusters A and B fused into Into
+// (= min(A, B)), following Eq. (5). For the strict (fine-grained) sweep the
+// level increments by one per event; the coarse-grained algorithm emits the
+// chunk counter instead, so several events may share a level.
+type Merge struct {
+	Level int32
+	A, B  int32
+	Into  int32
+	Sim   float64 // similarity of the pair that triggered the merge
+}
+
+// Result is the output of a sweeping run.
+type Result struct {
+	// Merges is the dendrogram's merge stream in execution order.
+	Merges []Merge
+	// Chain is the final array C; Chain.Assignments() yields the bottom
+	// partition reached by the run.
+	Chain *Chain
+	// Levels is the last level counter value (r in the paper).
+	Levels int32
+	// PairsProcessed counts incident edge pairs fed to MERGE.
+	PairsProcessed int64
+}
+
+// NumClusters returns the number of clusters at the end of the run.
+func (r *Result) NumClusters() int { return r.Chain.NumClusters() }
+
+// Sweep runs Algorithm 2: sorts the pair list by non-increasing similarity
+// and replays it, merging, for each vertex pair (U, V) and each common
+// neighbor k, the clusters of edges (U, k) and (V, k). The pair list is
+// sorted in place. An error is returned only if the pair list references an
+// edge absent from g, which indicates the list was built from a different
+// graph.
+func Sweep(g *graph.Graph, pl *PairList) (*Result, error) {
+	pl.Sort()
+	res := &Result{Chain: NewChain(g.NumEdges())}
+	for i := range pl.Pairs {
+		p := &pl.Pairs[i]
+		for _, k := range p.Common {
+			e1, ok1 := g.EdgeBetween(int(p.U), int(k))
+			e2, ok2 := g.EdgeBetween(int(p.V), int(k))
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("core: pair (%d,%d) common neighbor %d has no incident edges in graph", p.U, p.V, k)
+			}
+			res.PairsProcessed++
+			if c1, c2, merged := res.Chain.Merge(e1, e2); merged {
+				res.Levels++
+				into := c1
+				if c2 < into {
+					into = c2
+				}
+				res.Merges = append(res.Merges, Merge{
+					Level: res.Levels,
+					A:     c1,
+					B:     c2,
+					Into:  into,
+					Sim:   p.Sim,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cluster is the serial end-to-end pipeline: Algorithm 1 followed by
+// Algorithm 2.
+func Cluster(g *graph.Graph) (*Result, error) {
+	return Sweep(g, Similarity(g))
+}

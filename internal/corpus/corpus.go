@@ -1,0 +1,157 @@
+// Package corpus provides the text-processing substrate of the paper's
+// evaluation pipeline: tokenization, stop-word removal, Porter stemming, and
+// a deterministic synthetic tweet generator standing in for the proprietary
+// December-2011 Twitter dataset (see DESIGN.md §2 for the substitution
+// rationale).
+//
+// A Corpus is an ordered collection of documents; each document is the
+// multiset of *distinct* stemmed terms that appear in it, because the
+// word-association weights of Eq. (3) are defined on per-document presence
+// indicator variables X_f.
+package corpus
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"linkclust/internal/stem"
+)
+
+// Document is the set of distinct processed terms of one message, in
+// first-appearance order.
+type Document []string
+
+// Corpus is an ordered set of processed documents plus corpus-level term
+// statistics.
+type Corpus struct {
+	docs []Document
+	// docFreq[t] = number of documents containing term t at least once.
+	docFreq map[string]int
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// NumDocs returns the number of documents.
+func (c *Corpus) NumDocs() int { return len(c.docs) }
+
+// Doc returns the i-th document. The returned slice is owned by the corpus.
+func (c *Corpus) Doc(i int) Document { return c.docs[i] }
+
+// DocFreq returns the number of documents containing term t.
+func (c *Corpus) DocFreq(t string) int { return c.docFreq[t] }
+
+// Vocabulary returns all distinct terms sorted by non-ascending document
+// frequency, ties broken lexicographically — the candidate-word order the
+// paper uses to pick the top fraction α.
+func (c *Corpus) Vocabulary() []string {
+	terms := make([]string, 0, len(c.docFreq))
+	for t := range c.docFreq {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		fi, fj := c.docFreq[terms[i]], c.docFreq[terms[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return terms[i] < terms[j]
+	})
+	return terms
+}
+
+// AddDocument tokenizes, filters, and stems raw text, and appends the
+// resulting document if it contains at least one term.
+func (c *Corpus) AddDocument(raw string) {
+	doc := Process(raw)
+	if len(doc) == 0 {
+		return
+	}
+	c.addProcessed(doc)
+}
+
+// AddTerms appends an already-processed term sequence as a document,
+// de-duplicating terms. Used by the synthetic generator.
+func (c *Corpus) AddTerms(terms []string) {
+	if len(terms) == 0 {
+		return
+	}
+	seen := make(map[string]struct{}, len(terms))
+	doc := make(Document, 0, len(terms))
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		doc = append(doc, t)
+	}
+	c.addProcessed(doc)
+}
+
+func (c *Corpus) addProcessed(doc Document) {
+	c.docs = append(c.docs, doc)
+	for _, t := range doc {
+		c.docFreq[t]++
+	}
+}
+
+// ReadLines ingests one document per line from r.
+func (c *Corpus) ReadLines(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		c.AddDocument(sc.Text())
+	}
+	return sc.Err()
+}
+
+// Process runs the paper's preprocessing pipeline on one raw message:
+// lowercase, tokenize on non-letter boundaries, drop stop words and words
+// shorter than two letters, Porter-stem, drop stems that are stop words, and
+// de-duplicate while preserving first-appearance order.
+func Process(raw string) Document {
+	tokens := Tokenize(raw)
+	seen := make(map[string]struct{}, len(tokens))
+	doc := make(Document, 0, len(tokens))
+	for _, tok := range tokens {
+		if len(tok) < 2 || IsStopWord(tok) {
+			continue
+		}
+		t := stem.Porter(tok)
+		if len(t) < 2 || IsStopWord(t) {
+			continue
+		}
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		doc = append(doc, t)
+	}
+	return doc
+}
+
+// Tokenize lowercases raw and splits it into maximal runs of ASCII letters.
+// Twitter artifacts (mentions, URLs, hashtags' leading '#') dissolve into
+// their letter runs; purely non-alphabetic tokens disappear.
+func Tokenize(raw string) []string {
+	lower := strings.ToLower(raw)
+	var tokens []string
+	start := -1
+	for i := 0; i <= len(lower); i++ {
+		isLetter := i < len(lower) && lower[i] >= 'a' && lower[i] <= 'z'
+		if isLetter {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tokens = append(tokens, lower[start:i])
+			start = -1
+		}
+	}
+	return tokens
+}

@@ -1,0 +1,272 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"#linkclustering is GREAT http://x.co/ab1", []string{"linkclustering", "is", "great", "http", "x", "co", "ab"}},
+		{"", nil},
+		{"123 456", nil},
+		{"don't stop", []string{"don", "t", "stop"}},
+		{"a-b_c", []string{"a", "b", "c"}},
+	}
+	for _, tc := range cases {
+		got := Tokenize(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestTokenizeOnlyLetters(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for i := 0; i < len(tok); i++ {
+				if tok[i] < 'a' || tok[i] > 'z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "and", "is", "of", "you"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"cluster", "graph", "tweet", ""} {
+		if IsStopWord(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+}
+
+func TestProcess(t *testing.T) {
+	doc := Process("The clusters are clustering the networks of the network!")
+	// "the", "are", "of" are stop words; clusters/clustering stem to
+	// "cluster", networks/network to "network"; duplicates collapse.
+	want := []string{"cluster", "network"}
+	if len(doc) != len(want) {
+		t.Fatalf("Process = %v, want %v", doc, want)
+	}
+	for i := range want {
+		if doc[i] != want[i] {
+			t.Fatalf("Process = %v, want %v", doc, want)
+		}
+	}
+}
+
+func TestProcessDropsShortAndStopStems(t *testing.T) {
+	// "as" is a stop word; "a" too short; stems shorter than 2 dropped.
+	doc := Process("a as ab")
+	if len(doc) != 1 || doc[0] != "ab" {
+		t.Fatalf("Process = %v, want [ab]", doc)
+	}
+}
+
+func TestAddDocumentSkipsEmpty(t *testing.T) {
+	c := New()
+	c.AddDocument("the of and")
+	c.AddDocument("")
+	if c.NumDocs() != 0 {
+		t.Fatalf("empty documents recorded: %d", c.NumDocs())
+	}
+	c.AddDocument("graph theory")
+	if c.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d, want 1", c.NumDocs())
+	}
+}
+
+func TestDocFreqCountsDocumentsNotOccurrences(t *testing.T) {
+	c := New()
+	c.AddTerms([]string{"x", "x", "y"}) // x de-duplicated within doc
+	c.AddTerms([]string{"x"})
+	if f := c.DocFreq("x"); f != 2 {
+		t.Fatalf("DocFreq(x) = %d, want 2", f)
+	}
+	if f := c.DocFreq("y"); f != 1 {
+		t.Fatalf("DocFreq(y) = %d, want 1", f)
+	}
+	if f := c.DocFreq("z"); f != 0 {
+		t.Fatalf("DocFreq(z) = %d, want 0", f)
+	}
+}
+
+func TestVocabularyOrder(t *testing.T) {
+	c := New()
+	c.AddTerms([]string{"rare"})
+	c.AddTerms([]string{"common", "mid"})
+	c.AddTerms([]string{"common", "mid"})
+	c.AddTerms([]string{"common"})
+	v := c.Vocabulary()
+	want := []string{"common", "mid", "rare"}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vocabulary = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestVocabularyTieBreakLexicographic(t *testing.T) {
+	c := New()
+	c.AddTerms([]string{"bb", "aa"})
+	v := c.Vocabulary()
+	if v[0] != "aa" || v[1] != "bb" {
+		t.Fatalf("Vocabulary = %v, want [aa bb]", v)
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	c := New()
+	err := c.ReadLines(strings.NewReader("graphs and networks\nclustering edges\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", c.NumDocs())
+	}
+}
+
+func TestWordLabel(t *testing.T) {
+	seen := make(map[string]struct{})
+	for i := 0; i < 5000; i++ {
+		l := WordLabel(i)
+		if len(l) < 2 {
+			t.Fatalf("WordLabel(%d) = %q too short", i, l)
+		}
+		if IsStopWord(l) {
+			t.Fatalf("WordLabel(%d) = %q is a stop word", i, l)
+		}
+		for j := 0; j < len(l); j++ {
+			if l[j] < 'a' || l[j] > 'z' {
+				t.Fatalf("WordLabel(%d) = %q not letter-only", i, l)
+			}
+		}
+		if _, dup := seen[l]; dup {
+			t.Fatalf("WordLabel(%d) = %q duplicates an earlier label", i, l)
+		}
+		seen[l] = struct{}{}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthConfig{Vocab: 200, Topics: 5, Docs: 300, MinLen: 3, MaxLen: 8, ZipfExponent: 1.1, TopicMixture: 0.6, Seed: 7}
+	a, b := Synthesize(cfg), Synthesize(cfg)
+	if a.NumDocs() != b.NumDocs() {
+		t.Fatalf("doc counts differ: %d vs %d", a.NumDocs(), b.NumDocs())
+	}
+	for i := 0; i < a.NumDocs(); i++ {
+		da, db := a.Doc(i), b.Doc(i)
+		if len(da) != len(db) {
+			t.Fatalf("doc %d lengths differ", i)
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("doc %d term %d differs: %q vs %q", i, j, da[j], db[j])
+			}
+		}
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	cfg := SynthConfig{Vocab: 500, Topics: 10, Docs: 2000, MinLen: 4, MaxLen: 10, ZipfExponent: 1.1, TopicMixture: 0.7, Seed: 3}
+	c := Synthesize(cfg)
+	if c.NumDocs() != cfg.Docs {
+		t.Fatalf("NumDocs = %d, want %d", c.NumDocs(), cfg.Docs)
+	}
+	for i := 0; i < c.NumDocs(); i++ {
+		d := c.Doc(i)
+		if len(d) < cfg.MinLen || len(d) > cfg.MaxLen {
+			t.Fatalf("doc %d has %d terms, want [%d,%d]", i, len(d), cfg.MinLen, cfg.MaxLen)
+		}
+	}
+	// Heavy tail: the most frequent word must appear in far more docs
+	// than the median word.
+	v := c.Vocabulary()
+	if len(v) < 100 {
+		t.Fatalf("vocabulary too small: %d", len(v))
+	}
+	top, mid := c.DocFreq(v[0]), c.DocFreq(v[len(v)/2])
+	if top < 5*mid {
+		t.Fatalf("frequency not heavy-tailed: top=%d mid=%d", top, mid)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []SynthConfig{
+		{Vocab: 0, Topics: 1, Docs: 1, MinLen: 1, MaxLen: 2, ZipfExponent: 1, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 0, Docs: 1, MinLen: 1, MaxLen: 2, ZipfExponent: 1, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 1, Docs: -1, MinLen: 1, MaxLen: 2, ZipfExponent: 1, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 1, Docs: 1, MinLen: 0, MaxLen: 2, ZipfExponent: 1, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 1, Docs: 1, MinLen: 3, MaxLen: 2, ZipfExponent: 1, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 1, Docs: 1, MinLen: 1, MaxLen: 2, ZipfExponent: 0, TopicMixture: 0.5},
+		{Vocab: 10, Topics: 1, Docs: 1, MinLen: 1, MaxLen: 2, ZipfExponent: 1, TopicMixture: 1.5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			Synthesize(cfg)
+		}()
+	}
+}
+
+func TestSynthesizeRawPipelines(t *testing.T) {
+	cfg := SynthConfig{Vocab: 100, Topics: 4, Docs: 200, MinLen: 3, MaxLen: 7, ZipfExponent: 1.1, TopicMixture: 0.5, Seed: 9}
+	raws := SynthesizeRaw(cfg)
+	if len(raws) != cfg.Docs {
+		t.Fatalf("%d raw docs, want %d", len(raws), cfg.Docs)
+	}
+	c := New()
+	for _, r := range raws {
+		c.AddDocument(r)
+	}
+	if c.NumDocs() == 0 {
+		t.Fatal("pipeline produced no documents")
+	}
+	// Fillers are stop words and must not survive processing.
+	if c.DocFreq("the") != 0 || c.DocFreq("and") != 0 {
+		t.Fatal("stop words leaked into the processed corpus")
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	text := "Networks reveal overlapping communities when clustering links instead of nodes #graphs"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Process(text)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := SynthConfig{Vocab: 1000, Topics: 10, Docs: 1000, MinLen: 4, MaxLen: 10, ZipfExponent: 1.1, TopicMixture: 0.7, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		_ = Synthesize(cfg)
+	}
+}

@@ -1,0 +1,61 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStatsBasic(t *testing.T) {
+	c := New()
+	c.AddTerms([]string{"a", "b", "c"})
+	c.AddTerms([]string{"a", "b"})
+	c.AddTerms([]string{"a"})
+	s := ComputeStats(c)
+	if s.Docs != 3 || s.DistinctTerms != 3 || s.TotalTerms != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.AvgDocLen-2) > 1e-12 {
+		t.Fatalf("avg doc len = %v", s.AvgDocLen)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(New())
+	if s.Docs != 0 || s.ZipfExponent != 0 || s.HeapsExponent != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestSyntheticCorpusIsZipfian(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.Vocab = 3000
+	cfg.Docs = 8000
+	cfg.Topics = 12
+	s := ComputeStats(Synthesize(cfg))
+	// The generator draws from Zipf(1.05) with topical/mainstream mixing;
+	// the realized document-frequency slope must be clearly negative and
+	// in the heavy-tailed regime natural short text shows.
+	if s.ZipfExponent > -0.4 || s.ZipfExponent < -2.5 {
+		t.Fatalf("Zipf exponent %v outside heavy-tail range", s.ZipfExponent)
+	}
+	// Vocabulary growth is sublinear but real: 0 < beta < 1.
+	if s.HeapsExponent <= 0.05 || s.HeapsExponent >= 1 {
+		t.Fatalf("Heaps exponent %v outside (0,1)", s.HeapsExponent)
+	}
+	if s.AvgDocLen < float64(cfg.MinLen) || s.AvgDocLen > float64(cfg.MaxLen) {
+		t.Fatalf("avg doc len %v outside [%d,%d]", s.AvgDocLen, cfg.MinLen, cfg.MaxLen)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	// y = 3x - 1.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{-1, 2, 5, 8}
+	if got := slope(xs, ys); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("slope = %v, want 3", got)
+	}
+	// Degenerate: constant x.
+	if got := slope([]float64{2, 2}, []float64{1, 5}); got != 0 {
+		t.Fatalf("degenerate slope = %v", got)
+	}
+}

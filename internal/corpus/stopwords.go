@@ -1,0 +1,39 @@
+package corpus
+
+// English stop words. The paper removes "common stop words" (citing the
+// CLiPS list) before building the word association graph; this embedded list
+// covers the same standard English function words.
+var stopWordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "aren", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+	"doing", "don", "down", "during", "each", "few", "for", "from",
+	"further", "had", "hadn", "has", "hasn", "have", "haven", "having",
+	"he", "her", "here", "hers", "herself", "him", "himself", "his", "how",
+	"i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+	"let", "me", "more", "most", "mustn", "my", "myself", "no", "nor",
+	"not", "now", "of", "off", "on", "once", "only", "or", "other",
+	"ought", "our", "ours", "ourselves", "out", "over", "own", "same",
+	"shan", "she", "should", "shouldn", "so", "some", "such", "than",
+	"that", "the", "their", "theirs", "them", "themselves", "then",
+	"there", "these", "they", "this", "those", "through", "to", "too",
+	"under", "until", "up", "very", "was", "wasn", "we", "were", "weren",
+	"what", "when", "where", "which", "while", "who", "whom", "why",
+	"will", "with", "won", "would", "wouldn", "you", "your", "yours",
+	"yourself", "yourselves",
+}
+
+var stopWords = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(stopWordList))
+	for _, w := range stopWordList {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+// IsStopWord reports whether the lowercase word is an English stop word.
+func IsStopWord(w string) bool {
+	_, ok := stopWords[w]
+	return ok
+}

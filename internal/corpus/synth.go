@@ -1,0 +1,191 @@
+package corpus
+
+import (
+	"strings"
+
+	"linkclust/internal/rng"
+)
+
+// SynthConfig parameterizes the synthetic tweet generator that stands in for
+// the paper's December-2011 Twitter corpus.
+//
+// The generative model: every word has a global Zipf rank (heavy-tailed
+// frequencies, as in real tweet corpora) and belongs to one of Topics latent
+// topics (round-robin by rank, so every topic owns words across the whole
+// frequency spectrum). Each document samples one topic and then draws words:
+// with probability TopicMixture from the topic's own words (Zipf over the
+// topic-local ranks), otherwise from the global Zipf distribution. Topical
+// draws create the word co-occurrence communities that make link clustering
+// produce non-trivial dendrograms; global draws make frequent words co-occur
+// broadly, reproducing the paper's observation that graph density falls as
+// the vocabulary fraction α grows.
+type SynthConfig struct {
+	Vocab        int     // number of distinct words (> 0)
+	Topics       int     // number of latent topics (> 0)
+	Docs         int     // number of documents to generate (>= 0)
+	MinLen       int     // minimum distinct terms per document (>= 1)
+	MaxLen       int     // maximum distinct terms per document (>= MinLen)
+	ZipfExponent float64 // word-frequency skew (> 0); tweets ≈ 1.1
+	TopicMixture float64 // probability of a topical draw, in [0, 1]
+	// MainstreamProb is the probability that a document is "mainstream":
+	// all of its words are drawn from only the top MainstreamFrac of the
+	// vocabulary. Mainstream documents give frequent words the positive
+	// mutual association (beyond what independence predicts) that real
+	// tweet corpora show, which is what makes the association graph
+	// densest at small α — the paper's Fig. 4(1) density observation.
+	// Zero disables the mechanism.
+	MainstreamProb float64 // in [0, 1]
+	MainstreamFrac float64 // in (0, 1]; used only when MainstreamProb > 0
+	Seed           uint64  // PRNG seed
+}
+
+// DefaultSynthConfig returns the configuration used by the experiment
+// harness: a tweet-like corpus with short documents and mild Zipf skew.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		Vocab:          20000,
+		Topics:         40,
+		Docs:           60000,
+		MinLen:         4,
+		MaxLen:         12,
+		ZipfExponent:   1.05,
+		TopicMixture:   0.7,
+		MainstreamProb: 0.35,
+		MainstreamFrac: 0.05,
+		Seed:           1,
+	}
+}
+
+func (c SynthConfig) validate() {
+	switch {
+	case c.Vocab <= 0:
+		panic("corpus: SynthConfig.Vocab must be positive")
+	case c.Topics <= 0:
+		panic("corpus: SynthConfig.Topics must be positive")
+	case c.Docs < 0:
+		panic("corpus: SynthConfig.Docs must be non-negative")
+	case c.MinLen < 1 || c.MaxLen < c.MinLen:
+		panic("corpus: SynthConfig document length bounds invalid")
+	case c.ZipfExponent <= 0:
+		panic("corpus: SynthConfig.ZipfExponent must be positive")
+	case c.TopicMixture < 0 || c.TopicMixture > 1:
+		panic("corpus: SynthConfig.TopicMixture must be in [0,1]")
+	case c.MainstreamProb < 0 || c.MainstreamProb > 1:
+		panic("corpus: SynthConfig.MainstreamProb must be in [0,1]")
+	case c.MainstreamProb > 0 && (c.MainstreamFrac <= 0 || c.MainstreamFrac > 1):
+		panic("corpus: SynthConfig.MainstreamFrac must be in (0,1]")
+	}
+}
+
+// Synthesize generates a corpus of already-processed term documents under
+// cfg. The same configuration always yields the same corpus.
+func Synthesize(cfg SynthConfig) *Corpus {
+	cfg.validate()
+	src := rng.New(cfg.Seed)
+	global := rng.NewZipf(src.Fork(), cfg.Vocab, cfg.ZipfExponent)
+
+	// Topic t owns the words with rank ≡ t (mod Topics); a topical draw
+	// samples a topic-local Zipf rank and maps it back to a global word.
+	perTopic := (cfg.Vocab + cfg.Topics - 1) / cfg.Topics
+	topical := rng.NewZipf(src.Fork(), perTopic, cfg.ZipfExponent)
+
+	var mainstream *rng.Zipf
+	if cfg.MainstreamProb > 0 {
+		pool := int(cfg.MainstreamFrac * float64(cfg.Vocab))
+		if pool < 2 {
+			pool = 2
+		}
+		mainstream = rng.NewZipf(src.Fork(), pool, cfg.ZipfExponent)
+	}
+
+	c := New()
+	terms := make([]string, 0, cfg.MaxLen)
+	seen := make(map[int]struct{}, cfg.MaxLen)
+	for d := 0; d < cfg.Docs; d++ {
+		topic := src.Intn(cfg.Topics)
+		isMainstream := mainstream != nil && src.Float64() < cfg.MainstreamProb
+		length := cfg.MinLen + src.Intn(cfg.MaxLen-cfg.MinLen+1)
+		terms = terms[:0]
+		clear(seen)
+		// Draw distinct words; cap attempts so degenerate configs (tiny
+		// vocabularies) still terminate with a shorter document.
+		for attempts := 0; len(terms) < length && attempts < 50*length; attempts++ {
+			var w int
+			switch {
+			case isMainstream:
+				w = mainstream.Sample()
+			case src.Float64() < cfg.TopicMixture:
+				w = topical.Sample()*cfg.Topics + topic
+				if w >= cfg.Vocab {
+					continue
+				}
+			default:
+				w = global.Sample()
+			}
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			terms = append(terms, WordLabel(w))
+		}
+		c.AddTerms(terms)
+	}
+	return c
+}
+
+// SynthesizeRaw generates cfg.Docs raw tweet-like strings (with stop words,
+// hashtags and punctuation sprinkled in) for exercising the full
+// tokenize/stop/stem pipeline end to end. Because Porter stemming may merge
+// synthetic labels, the processed vocabulary is close to, but not exactly,
+// cfg.Vocab.
+func SynthesizeRaw(cfg SynthConfig) []string {
+	cfg.validate()
+	src := rng.New(cfg.Seed ^ 0x5eed)
+	global := rng.NewZipf(src.Fork(), cfg.Vocab, cfg.ZipfExponent)
+	fillers := []string{"the", "a", "is", "to", "and", "of", "in", "on", "so", "i", "my"}
+
+	docs := make([]string, 0, cfg.Docs)
+	var sb strings.Builder
+	for d := 0; d < cfg.Docs; d++ {
+		sb.Reset()
+		length := cfg.MinLen + src.Intn(cfg.MaxLen-cfg.MinLen+1)
+		for i := 0; i < length; i++ {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			if src.Float64() < 0.3 {
+				sb.WriteString(fillers[src.Intn(len(fillers))])
+				sb.WriteByte(' ')
+			}
+			if src.Float64() < 0.1 {
+				sb.WriteByte('#')
+			}
+			sb.WriteString(WordLabel(global.Sample()))
+			if src.Float64() < 0.15 {
+				sb.WriteByte('!')
+			}
+		}
+		docs = append(docs, sb.String())
+	}
+	return docs
+}
+
+// WordLabel returns the deterministic pseudo-word for vocabulary index i:
+// a letter-only token ("qb", "qcaa", ...) that survives tokenization and is
+// never a stop word.
+func WordLabel(i int) string {
+	// Base-26 digits prefixed by 'q' keep labels >= 2 letters, letter-only
+	// and outside the stop-word list.
+	var buf [12]byte
+	pos := len(buf)
+	n := i
+	for {
+		pos--
+		buf[pos] = byte('a' + n%26)
+		n /= 26
+		if n == 0 {
+			break
+		}
+	}
+	return "q" + string(buf[pos:])
+}

@@ -1,0 +1,66 @@
+package dendro
+
+import (
+	"sort"
+
+	"linkclust/internal/graph"
+)
+
+// Community is one link community: a set of edges and the vertices they
+// touch. Because a vertex's edges may fall into several link communities,
+// node membership overlaps across communities — the defining property of
+// link clustering (Ahn et al.).
+type Community struct {
+	Label int32   // cluster label (minimum edge id)
+	Edges []int32 // member edge ids, ascending
+	Nodes []int32 // induced vertex ids, ascending
+}
+
+// Communities groups an edge clustering into link communities, sorted by
+// decreasing edge count (ties by label).
+func Communities(g *graph.Graph, labels []int32) []Community {
+	byLabel := make(map[int32]*Community)
+	for e, l := range labels {
+		c, ok := byLabel[l]
+		if !ok {
+			c = &Community{Label: l}
+			byLabel[l] = c
+		}
+		c.Edges = append(c.Edges, int32(e))
+	}
+	out := make([]Community, 0, len(byLabel))
+	for _, c := range byLabel {
+		nodes := make(map[int32]struct{}, len(c.Edges)+1)
+		for _, e := range c.Edges {
+			edge := g.Edge(int(e))
+			nodes[edge.U] = struct{}{}
+			nodes[edge.V] = struct{}{}
+		}
+		c.Nodes = make([]int32, 0, len(nodes))
+		for v := range nodes {
+			c.Nodes = append(c.Nodes, v)
+		}
+		sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i] < c.Nodes[j] })
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Edges) != len(out[j].Edges) {
+			return len(out[i].Edges) > len(out[j].Edges)
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// NodeMemberships inverts a community list: for every vertex, the indices
+// (into the communities slice) of the communities it belongs to. Vertices
+// in more than one community are the overlap link clustering reveals.
+func NodeMemberships(g *graph.Graph, comms []Community) [][]int {
+	out := make([][]int, g.NumVertices())
+	for ci := range comms {
+		for _, v := range comms[ci].Nodes {
+			out[v] = append(out[v], ci)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package dendro
+
+import (
+	"errors"
+	"math"
+
+	"linkclust/internal/unionfind"
+)
+
+// CopheneticCorrelation measures how faithfully the dendrogram preserves
+// the input similarities: the Pearson correlation between each observed
+// pair similarity and the cophenetic similarity of that pair (the merge
+// similarity at which the two items first share a cluster). Values near 1
+// mean the hierarchy reflects the similarity structure well — for
+// single-linkage the cophenetic similarity is the max-min path similarity,
+// so it upper-bounds each observed similarity.
+//
+// pairs supplies the observed similarities: it is called once with an emit
+// callback to invoke per (itemA, itemB, sim) observation. Pairs never
+// joined by the dendrogram get cophenetic similarity 0. An error is
+// returned when there are fewer than two usable observations or either
+// series is constant.
+//
+// The computation resolves all queries in one replay of the merge stream
+// with small-to-large list merging: O((M + Q) log Q) for M merges and Q
+// observations.
+func (d *Dendrogram) CopheneticCorrelation(pairs func(emit func(a, b int32, sim float64))) (float64, error) {
+	type query struct {
+		a, b int32
+		sim  float64
+		coph float64
+	}
+	var qs []query
+	pairs(func(a, b int32, sim float64) {
+		if a == b || a < 0 || b < 0 || int(a) >= d.n || int(b) >= d.n {
+			return
+		}
+		qs = append(qs, query{a: a, b: b, sim: sim})
+	})
+	if len(qs) < 2 {
+		return 0, errors.New("dendro: cophenetic correlation needs at least two pairs")
+	}
+
+	uf := unionfind.NewMin(d.n)
+	// waiting[root] holds indices of unresolved queries with at least one
+	// endpoint in root's cluster.
+	waiting := make(map[int32][]int, d.n)
+	for i := range qs {
+		ra, rb := uf.Find(qs[i].a), uf.Find(qs[i].b)
+		waiting[ra] = append(waiting[ra], i)
+		waiting[rb] = append(waiting[rb], i)
+	}
+	resolved := make([]bool, len(qs))
+	for mi := range d.merges {
+		m := &d.merges[mi]
+		ra, rb := uf.Find(m.A), uf.Find(m.B)
+		if ra == rb {
+			continue
+		}
+		uf.Union(ra, rb)
+		root := uf.Find(ra)
+		// Small-to-large: fold the smaller waiting list into the larger.
+		la, lb := waiting[ra], waiting[rb]
+		if len(la) < len(lb) {
+			la, lb = lb, la
+		}
+		delete(waiting, ra)
+		delete(waiting, rb)
+		for _, qi := range lb {
+			if resolved[qi] {
+				continue
+			}
+			if uf.Find(qs[qi].a) == uf.Find(qs[qi].b) {
+				qs[qi].coph = m.Sim
+				resolved[qi] = true
+				continue
+			}
+			la = append(la, qi)
+		}
+		// Compact resolved entries out of the surviving list lazily.
+		out := la[:0]
+		for _, qi := range la {
+			if !resolved[qi] {
+				out = append(out, qi)
+			}
+		}
+		if len(out) > 0 {
+			waiting[root] = out
+		}
+	}
+
+	// Pearson correlation.
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(qs))
+	for i := range qs {
+		x, y := qs[i].sim, qs[i].coph
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0, errors.New("dendro: cophenetic correlation undefined for constant series")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}

@@ -1,0 +1,121 @@
+// Package dendro turns the merge stream of a link-clustering run into a
+// queryable dendrogram: flat cuts by similarity threshold or by level,
+// partition density (Ahn, Bagrow & Lehmann, Nature 2010 — the standard
+// quality functional for choosing where to cut a link dendrogram), and the
+// extraction of overlapping node communities from link communities.
+package dendro
+
+import (
+	"sort"
+
+	"linkclust/internal/core"
+	"linkclust/internal/unionfind"
+)
+
+// Dendrogram is a link dendrogram over n edges described by its merge
+// stream. Merge streams from both the strict sweep (one level per merge)
+// and the coarse-grained sweep (one level per chunk) are supported.
+type Dendrogram struct {
+	n      int
+	merges []core.Merge
+}
+
+// New builds a dendrogram over n edges from a merge stream. The stream is
+// not copied; callers must not mutate it afterwards.
+func New(n int, merges []core.Merge) *Dendrogram {
+	return &Dendrogram{n: n, merges: merges}
+}
+
+// NumEdges returns the number of leaves (edges).
+func (d *Dendrogram) NumEdges() int { return d.n }
+
+// NumMerges returns the number of merge events.
+func (d *Dendrogram) NumMerges() int { return len(d.merges) }
+
+// NumLevels returns the highest level in the stream (0 when empty).
+func (d *Dendrogram) NumLevels() int32 {
+	var max int32
+	for i := range d.merges {
+		if d.merges[i].Level > max {
+			max = d.merges[i].Level
+		}
+	}
+	return max
+}
+
+// CutSim returns the min-labeled flat clustering obtained by applying every
+// merge with similarity >= theta.
+func (d *Dendrogram) CutSim(theta float64) []int32 {
+	return d.cut(func(m *core.Merge) bool { return m.Sim >= theta })
+}
+
+// CutLevel returns the min-labeled flat clustering obtained by applying
+// every merge with level <= r.
+func (d *Dendrogram) CutLevel(r int32) []int32 {
+	return d.cut(func(m *core.Merge) bool { return m.Level <= r })
+}
+
+// CutK applies merges in stream order until at most k clusters remain (or
+// the stream ends) and returns the min-labeled flat clustering. For the
+// strict sweep this is the classic "cut the dendrogram into k clusters"
+// operation; coarse streams stop at the first boundary at or below k.
+func (d *Dendrogram) CutK(k int) []int32 {
+	uf := unionfind.NewMin(d.n)
+	clusters := d.n
+	for i := range d.merges {
+		if clusters <= k {
+			break
+		}
+		if uf.Union(d.merges[i].A, d.merges[i].B) {
+			clusters--
+		}
+	}
+	return uf.Labels()
+}
+
+func (d *Dendrogram) cut(keep func(*core.Merge) bool) []int32 {
+	uf := unionfind.NewMin(d.n)
+	for i := range d.merges {
+		if keep(&d.merges[i]) {
+			uf.Union(d.merges[i].A, d.merges[i].B)
+		}
+	}
+	return uf.Labels()
+}
+
+// ClustersPerLevel returns, for levels 0..NumLevels(), the number of
+// clusters after applying all merges up to each level. Level 0 is the
+// all-singletons bottom.
+func (d *Dendrogram) ClustersPerLevel() []int {
+	levels := int(d.NumLevels())
+	out := make([]int, levels+1)
+	out[0] = d.n
+	clusters := d.n
+	idx := 0
+	applied := unionfind.NewMin(d.n)
+	for l := 1; l <= levels; l++ {
+		for idx < len(d.merges) && d.merges[idx].Level <= int32(l) {
+			if applied.Union(d.merges[idx].A, d.merges[idx].B) {
+				clusters--
+			}
+			idx++
+		}
+		out[l] = clusters
+	}
+	return out
+}
+
+// Thresholds returns the distinct merge similarities in non-increasing
+// order — the natural cut points of the dendrogram.
+func (d *Dendrogram) Thresholds() []float64 {
+	set := make(map[float64]struct{}, len(d.merges))
+	for i := range d.merges {
+		set[d.merges[i].Sim] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

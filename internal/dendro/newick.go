@@ -1,0 +1,114 @@
+package dendro
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNewick serializes the dendrogram in Newick format, one tree per
+// connected component (one line each), usable with standard dendrogram and
+// phylogeny tooling. Leaves are edges, named by leafName (nil uses "e<id>").
+// Node heights are 1−similarity, so branch lengths are the similarity drops
+// between consecutive merges; levels without a recorded similarity (Sim 0)
+// sit at height 1.
+func (d *Dendrogram) WriteNewick(w io.Writer, leafName func(edge int32) string) error {
+	if leafName == nil {
+		leafName = func(e int32) string { return fmt.Sprintf("e%d", e) }
+	}
+	bw := bufio.NewWriter(w)
+
+	type node struct {
+		children []int // node indices; empty for leaves
+		edge     int32 // leaf payload
+		height   float64
+	}
+	nodes := make([]node, d.n, d.n+len(d.merges))
+	for i := 0; i < d.n; i++ {
+		nodes[i] = node{edge: int32(i)}
+	}
+	// root node of each current cluster, keyed by cluster label.
+	rootOf := make(map[int32]int, d.n)
+	for i := 0; i < d.n; i++ {
+		rootOf[int32(i)] = i
+	}
+	for i := range d.merges {
+		m := &d.merges[i]
+		a, oka := rootOf[m.A]
+		b, okb := rootOf[m.B]
+		if !oka || !okb {
+			return fmt.Errorf("dendro: merge %d references unknown cluster (%d, %d)", i, m.A, m.B)
+		}
+		h := 1 - m.Sim
+		if h < nodes[a].height {
+			h = nodes[a].height
+		}
+		if h < nodes[b].height {
+			h = nodes[b].height
+		}
+		nodes = append(nodes, node{children: []int{a, b}, height: h})
+		delete(rootOf, m.A)
+		delete(rootOf, m.B)
+		rootOf[m.Into] = len(nodes) - 1
+	}
+
+	// Stable root order: by cluster label.
+	roots := make([]int32, 0, len(rootOf))
+	for label := range rootOf {
+		roots = append(roots, label)
+	}
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j-1] > roots[j]; j-- {
+			roots[j-1], roots[j] = roots[j], roots[j-1]
+		}
+	}
+
+	var write func(idx int, parentHeight float64) error
+	write = func(idx int, parentHeight float64) error {
+		n := &nodes[idx]
+		if len(n.children) == 0 {
+			fmt.Fprintf(bw, "%s:%s", sanitizeNewick(leafName(n.edge)), formatLen(parentHeight-n.height))
+			return nil
+		}
+		bw.WriteByte('(')
+		for ci, c := range n.children {
+			if ci > 0 {
+				bw.WriteByte(',')
+			}
+			if err := write(c, n.height); err != nil {
+				return err
+			}
+		}
+		bw.WriteByte(')')
+		fmt.Fprintf(bw, ":%s", formatLen(parentHeight-n.height))
+		return nil
+	}
+	for _, label := range roots {
+		idx := rootOf[label]
+		if err := write(idx, nodes[idx].height); err != nil {
+			return err
+		}
+		bw.WriteString(";\n")
+	}
+	return bw.Flush()
+}
+
+// sanitizeNewick replaces characters with structural meaning in Newick.
+func sanitizeNewick(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '(', ')', ',', ':', ';', ' ', '\t', '\n', '[', ']', '\'':
+			return '_'
+		default:
+			return r
+		}
+	}, s)
+}
+
+func formatLen(l float64) string {
+	if l < 0 {
+		l = 0
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", l), "0"), ".")
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConnectedComponents returns the vertex-connected components of g: for
+// every vertex, the id of its component, labeled by the minimum vertex in
+// the component, plus the number of components. Isolated vertices form
+// their own components.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int32
+	for start := 0; start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		count++
+		root := int32(start) // minimum: vertices are visited in order
+		stack = append(stack[:0], root)
+		labels[start] = root
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(int(v)) {
+				if labels[h.To] < 0 {
+					labels[h.To] = root
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices (which
+// must be distinct and in range) together with the mapping from new vertex
+// ids to original ids. Labels are carried over; edge weights are preserved;
+// edge ids are renumbered in the original id order of their surviving
+// edges.
+func InducedSubgraph(g *Graph, vertices []int) (*Graph, []int, error) {
+	old2new := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range [0,%d)", v, g.NumVertices())
+		}
+		if _, dup := old2new[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
+		}
+		old2new[v] = i
+	}
+	var b *Builder
+	if g.Labeled() {
+		labels := make([]string, len(vertices))
+		for i, v := range vertices {
+			labels[i] = g.Label(v)
+		}
+		b = NewLabeledBuilder(labels)
+	} else {
+		b = NewBuilder(len(vertices))
+	}
+	for _, e := range g.Edges() {
+		nu, okU := old2new[int(e.U)]
+		nv, okV := old2new[int(e.V)]
+		if okU && okV {
+			if err := b.AddEdge(nu, nv, e.Weight); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	mapping := append([]int(nil), vertices...)
+	return b.Build(nil), mapping, nil
+}
+
+// DegreeHistogram returns the sorted distinct degrees of g and the count of
+// vertices at each.
+func DegreeHistogram(g *Graph) (degrees []int, counts []int) {
+	hist := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		hist[g.Degree(v)]++
+	}
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"linkclust/internal/rng"
+)
+
+func TestConnectedComponentsBasic(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	b := NewBuilder(7)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 1)
+	b.MustAddEdge(0, 2, 1)
+	b.MustAddEdge(3, 4, 1)
+	b.MustAddEdge(4, 5, 1)
+	b.MustAddEdge(3, 5, 1)
+	g := b.Build(nil)
+	labels, count := ConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	want := []int32{0, 0, 0, 3, 3, 3, 6}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestConnectedComponentsEmptyAndComplete(t *testing.T) {
+	if labels, count := ConnectedComponents(NewBuilder(0).Build(nil)); count != 0 || len(labels) != 0 {
+		t.Fatalf("empty graph: %v %d", labels, count)
+	}
+	labels, count := ConnectedComponents(Complete(5))
+	if count != 1 {
+		t.Fatalf("K5 components = %d", count)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatalf("K5 labels = %v", labels)
+		}
+	}
+}
+
+func TestConnectedComponentsQuick(t *testing.T) {
+	// Label agreement is an equivalence consistent with edges: endpoints
+	// of every edge share a label, and the component count equals the
+	// number of distinct labels.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		g := ErdosRenyi(n, 0.08, rng.New(seed))
+		labels, count := ConnectedComponents(g)
+		for _, e := range g.Edges() {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		distinct := make(map[int32]struct{})
+		for v, l := range labels {
+			if l > int32(v) {
+				return false // label is the minimum member
+			}
+			distinct[l] = struct{}{}
+		}
+		return len(distinct) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewLabeledBuilder([]string{"a", "b", "c", "d"})
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 2)
+	b.MustAddEdge(2, 3, 3)
+	b.MustAddEdge(0, 3, 4)
+	g := b.Build(nil)
+
+	sub, mapping, err := InducedSubgraph(g, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub has %d vertices %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	if sub.Label(0) != "b" || sub.Label(2) != "d" {
+		t.Fatalf("labels lost: %q %q", sub.Label(0), sub.Label(2))
+	}
+	if mapping[1] != 2 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	if w := sub.Weight(0, 1); w != 2 {
+		t.Fatalf("edge b-c weight %v", w)
+	}
+	if w := sub.Weight(1, 2); w != 3 {
+		t.Fatalf("edge c-d weight %v", w)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := Complete(3)
+	if _, _, err := InducedSubgraph(g, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []int{1, 1}); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5) // center degree 4, four leaves degree 1
+	degrees, counts := DegreeHistogram(g)
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 4 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	if counts[0] != 4 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT serializes g in Graphviz DOT format for visualization. Vertex
+// names come from labels when present. edgeColor, when non-nil, assigns a
+// color-class integer to each edge id (e.g. a link-community label); edges
+// in the same class share one of a rotating palette of colors, which is how
+// link communities are usually drawn.
+func WriteDOT(w io.Writer, g *Graph, edgeColor func(edge int32) int32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph linkclust {")
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, g.Label(v))
+	}
+	palette := []string{
+		"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+		"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	}
+	colorIndex := make(map[int32]int)
+	for i, e := range g.Edges() {
+		attrs := []string{fmt.Sprintf("weight=%g", e.Weight)}
+		if g.Weight(int(e.U), int(e.V)) != 1 {
+			attrs = append(attrs, fmt.Sprintf(`label="%.3g"`, e.Weight))
+		}
+		if edgeColor != nil {
+			class := edgeColor(int32(i))
+			idx, ok := colorIndex[class]
+			if !ok {
+				idx = len(colorIndex) % len(palette)
+				colorIndex[class] = idx
+			}
+			attrs = append(attrs, fmt.Sprintf("color=%q penwidth=2", palette[idx]))
+		}
+		fmt.Fprintf(bw, "  n%d -- n%d [%s];\n", e.U, e.V, strings.Join(attrs, " "))
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

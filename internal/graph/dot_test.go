@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	b := NewLabeledBuilder([]string{"x", "y", "z"})
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 2.5)
+	g := b.Build(nil)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph linkclust {",
+		`n0 [label="x"]`,
+		"n0 -- n1",
+		"n1 -- n2",
+		`label="2.5"`, // non-unit weight labeled
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "--") != 2 {
+		t.Fatalf("edge count wrong:\n%s", out)
+	}
+}
+
+func TestWriteDOTEdgeColors(t *testing.T) {
+	g := Complete(4)
+	labels := []int32{0, 0, 0, 5, 5, 5} // two color classes
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, func(e int32) int32 { return labels[e] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "#1f77b4") != 3 || strings.Count(out, "#ff7f0e") != 3 {
+		t.Fatalf("color classes wrong:\n%s", out)
+	}
+}
+
+func TestWriteDOTEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, NewBuilder(0).Build(nil), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph linkclust {") {
+		t.Fatal("empty graph produced no header")
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the parser's robustness contract: arbitrary input never
+// panics, and anything it accepts survives a Write/Read round trip
+// unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("vertices 3\nedge 0 1 1.5\nedge 1 2 2\n")
+	f.Add("vertices 2\nlabel 0 hello\nedge 0 1 0.25\n")
+	f.Add("# comment only\n")
+	f.Add("vertices 0\n")
+	f.Add("vertices 1\nedge 0 0 1\n")
+	f.Add("vertices -3\n")
+	f.Add("edge 1 2 3\nvertices 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal input: %q", err, input)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(i) != h.Edge(i) {
+				t.Fatalf("round trip changed edge %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"linkclust/internal/rng"
+)
+
+// Generators for the graph families the paper analyzes: the appendix studies
+// k-regular and complete graphs; random families (Erdős–Rényi, Chung–Lu
+// power law) provide workloads with tunable density for benchmarks, and
+// small deterministic families (path, star, cycle, grid, disjoint edges)
+// exercise boundary behaviour in tests.
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.MustAddEdge(u, v, 1)
+		}
+	}
+	return b.Build(nil)
+}
+
+// Circulant returns a k-regular circulant graph on n vertices (each vertex
+// is joined to its k/2 nearest successors and predecessors on a ring). It
+// requires k even, 0 < k < n, and unit weights are used. Circulant graphs
+// are the canonical k-regular family from the paper's appendix analysis.
+func Circulant(n, k int) (*Graph, error) {
+	if k <= 0 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("graph: circulant requires even k in (0,%d), got %d", n, k)
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k/2; d++ {
+			b.MustAddEdge(v, (v+d)%n, 1)
+		}
+	}
+	return b.Build(nil), nil
+}
+
+// Path returns the path graph 0-1-...-(n-1) with unit weights.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.MustAddEdge(v, v+1, 1)
+	}
+	return b.Build(nil)
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices with unit weights.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle requires n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.MustAddEdge(v, (v+1)%n, 1)
+	}
+	return b.Build(nil)
+}
+
+// Star returns the star graph with center 0 and n-1 leaves, unit weights.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(0, v, 1)
+	}
+	return b.Build(nil)
+}
+
+// DisjointEdges returns a perfect matching on 2m vertices: m singular edges
+// with no incidences. This is the paper's example of a graph with
+// K1 = K2 = 0 but |E| = |V|/2.
+func DisjointEdges(m int) *Graph {
+	b := NewBuilder(2 * m)
+	for i := 0; i < m; i++ {
+		b.MustAddEdge(2*i, 2*i+1, 1)
+	}
+	return b.Build(nil)
+}
+
+// Grid returns the rows×cols grid graph with unit weights.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.MustAddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				b.MustAddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return b.Build(nil)
+}
+
+// ErdosRenyi returns a G(n, p) random graph with weights drawn uniformly
+// from (0, 1].
+func ErdosRenyi(n int, p float64, src *rng.Source) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				b.MustAddEdge(u, v, 1-src.Float64())
+			}
+		}
+	}
+	return b.Build(nil)
+}
+
+// ChungLu returns a random graph whose expected degree sequence follows a
+// power law with the given exponent (> 1) and average degree roughly
+// avgDeg. Edge (u,v) is included with probability min(1, w_u*w_v/S) where
+// w_i ∝ (i+1)^(-1/(exponent-1)); weights are uniform in (0, 1]. The
+// construction samples Θ(n·avgDeg) candidate pairs rather than all n², so
+// it scales to large sparse graphs.
+func ChungLu(n int, exponent, avgDeg float64, src *rng.Source) *Graph {
+	if n < 2 {
+		return NewBuilder(n).Build(nil)
+	}
+	w := make([]float64, n)
+	var sum float64
+	beta := 1 / (exponent - 1)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -beta)
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	for i := range w {
+		w[i] *= scale
+	}
+	// cumulative distribution proportional to w for endpoint sampling.
+	cdf := make([]float64, n)
+	total := 0.0
+	for i, wi := range w {
+		total += wi
+		cdf[i] = total
+	}
+	sample := func() int {
+		u := src.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	b := NewBuilder(n)
+	// Expected number of edges is total/2 * avg acceptance; sampling
+	// total/2 pairs with the w-proportional endpoint distribution gives
+	// the Chung–Lu measure.
+	trials := int(total / 2)
+	for t := 0; t < trials; t++ {
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		// AddEdge overwrites duplicates, which matches the "ignore
+		// multi-edges" convention of the Chung–Lu model.
+		b.MustAddEdge(u, v, 1-src.Float64())
+	}
+	return b.Build(nil)
+}
+
+// PaperExample returns a graph realizing the statistics quoted for the
+// Fig. 1 example in Section IV-C: K1 = 7 < K2 = 16 < K3 = 28 (hence
+// |E| = 8). The complete bipartite graph K_{2,4} is the unique 6-vertex
+// degree profile meeting them: hubs a, b of degree 4 and leaves c..f of
+// degree 2.
+func PaperExample() *Graph {
+	b := NewLabeledBuilder([]string{"a", "b", "c", "d", "e", "f"})
+	for leaf := 2; leaf <= 5; leaf++ {
+		b.MustAddEdge(0, leaf, 1)
+		b.MustAddEdge(1, leaf, 1)
+	}
+	return b.Build(nil)
+}

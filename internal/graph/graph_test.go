@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"linkclust/internal/rng"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 2.5)
+	b.MustAddEdge(2, 1, 1.0) // canonicalized to (1,2)
+	g := b.Build(nil)
+
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if e := g.Edge(1); e.U != 1 || e.V != 2 {
+		t.Fatalf("edge 1 = %+v, want canonical (1,2)", e)
+	}
+	if w := g.Weight(1, 0); w != 2.5 {
+		t.Fatalf("Weight(1,0) = %v, want 2.5", w)
+	}
+	if w := g.Weight(0, 3); w != 0 {
+		t.Fatalf("Weight(0,3) = %v, want 0", w)
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(1), g.Degree(3))
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	for _, tc := range []struct {
+		u, v int
+		w    float64
+	}{
+		{0, 0, 1},           // self loop
+		{-1, 1, 1},          // out of range
+		{0, 3, 1},           // out of range
+		{0, 1, 0},           // zero weight
+		{0, 1, -2},          // negative weight
+		{0, 1, math.NaN()},  // NaN weight
+		{0, 1, math.Inf(1)}, // infinite weight
+	} {
+		if err := b.AddEdge(tc.u, tc.v, tc.w); err == nil {
+			t.Errorf("AddEdge(%d,%d,%v) succeeded, want error", tc.u, tc.v, tc.w)
+		}
+	}
+	if b.NumEdges() != 0 {
+		t.Fatalf("bad edges were recorded: %d", b.NumEdges())
+	}
+}
+
+func TestBuilderDuplicateOverwrites(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 0, 7)
+	g := b.Build(nil)
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicate edge not merged: %d edges", g.NumEdges())
+	}
+	if w := g.Weight(0, 1); w != 7 {
+		t.Fatalf("weight = %v, want last-write 7", w)
+	}
+}
+
+func TestBuildWithPermutation(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 1) // insertion 0
+	b.MustAddEdge(1, 2, 2) // insertion 1
+	b.MustAddEdge(2, 3, 3) // insertion 2
+	// Edge id e receives insertion perm[e].
+	g := b.Build([]int{2, 0, 1})
+	if e := g.Edge(0); e.U != 2 || e.V != 3 {
+		t.Fatalf("edge 0 = %+v, want (2,3)", e)
+	}
+	if e := g.Edge(1); e.U != 0 || e.V != 1 {
+		t.Fatalf("edge 1 = %+v, want (0,1)", e)
+	}
+	// Adjacency must agree with edge ids.
+	id, ok := g.EdgeBetween(3, 2)
+	if !ok || id != 0 {
+		t.Fatalf("EdgeBetween(3,2) = %d,%v want 0,true", id, ok)
+	}
+}
+
+func TestBuildPanicsOnBadPerm(t *testing.T) {
+	for _, perm := range [][]int{{0}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build(%v) did not panic", perm)
+				}
+			}()
+			b := NewBuilder(4)
+			b.MustAddEdge(0, 1, 1)
+			b.MustAddEdge(1, 2, 1)
+			b.MustAddEdge(2, 3, 1)
+			b.Build(perm)
+		}()
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	src := rng.New(5)
+	g := ErdosRenyi(60, 0.2, src)
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1].To >= nb[i].To {
+				t.Fatalf("adjacency of %d not strictly sorted", v)
+			}
+		}
+	}
+}
+
+func TestAdjacencyEdgeIDsConsistent(t *testing.T) {
+	g := ErdosRenyi(40, 0.3, rng.New(9))
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, h := range g.Neighbors(v) {
+			e := g.Edge(int(h.Edge))
+			if !((int(e.U) == v && e.V == h.To) || (int(e.V) == v && e.U == h.To)) {
+				t.Fatalf("half %+v at vertex %d disagrees with edge %+v", h, v, e)
+			}
+			if e.Weight != h.Weight {
+				t.Fatalf("weight mismatch at vertex %d: %v vs %v", v, h.Weight, e.Weight)
+			}
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewLabeledBuilder([]string{"x", "y"})
+	b.MustAddEdge(0, 1, 1)
+	g := b.Build(nil)
+	if !g.Labeled() || g.Label(0) != "x" || g.Label(1) != "y" {
+		t.Fatalf("labels lost: %q %q", g.Label(0), g.Label(1))
+	}
+	u := NewBuilder(2).Build(nil)
+	if u.Labeled() || u.Label(1) != "1" {
+		t.Fatalf("unlabeled fallback wrong: %q", u.Label(1))
+	}
+}
+
+func TestDensity(t *testing.T) {
+	if d := Complete(5).Density(); d != 1 {
+		t.Fatalf("K5 density = %v, want 1", d)
+	}
+	if d := Path(5).Density(); d != 2*4.0/(5*4) {
+		t.Fatalf("P5 density = %v", d)
+	}
+	if d := NewBuilder(1).Build(nil).Density(); d != 0 {
+		t.Fatalf("singleton density = %v, want 0", d)
+	}
+	if d := NewBuilder(0).Build(nil).Density(); d != 0 {
+		t.Fatalf("empty density = %v, want 0", d)
+	}
+}
+
+func TestPaperExampleStats(t *testing.T) {
+	g := PaperExample()
+	s := ComputeStats(g)
+	if s.Edges != 8 {
+		t.Fatalf("|E| = %d, want 8", s.Edges)
+	}
+	if s.K1 != 7 {
+		t.Errorf("K1 = %d, want 7", s.K1)
+	}
+	if s.K2 != 16 {
+		t.Errorf("K2 = %d, want 16", s.K2)
+	}
+	if s.K3 != 28 {
+		t.Errorf("K3 = %d, want 28", s.K3)
+	}
+}
+
+func TestStatsOrdering(t *testing.T) {
+	// K1 <= K2 <= K3 holds for any graph (Section IV-C).
+	for seed := uint64(0); seed < 8; seed++ {
+		g := ErdosRenyi(30, 0.15, rng.New(seed))
+		s := ComputeStats(g)
+		if s.K1 > s.K2 || s.K2 > s.K3 {
+			t.Fatalf("seed %d: K1=%d K2=%d K3=%d violates ordering", seed, s.K1, s.K2, s.K3)
+		}
+	}
+}
+
+func TestDisjointEdgesStats(t *testing.T) {
+	// Paper: disjoint singular edges have K1 = K2 = 0, |E| = |V|/2.
+	g := DisjointEdges(6)
+	s := ComputeStats(g)
+	if s.K1 != 0 || s.K2 != 0 {
+		t.Fatalf("K1=%d K2=%d, want 0,0", s.K1, s.K2)
+	}
+	if s.Edges != 6 || s.Vertices != 12 {
+		t.Fatalf("|E|=%d |V|=%d", s.Edges, s.Vertices)
+	}
+}
+
+func TestCompleteStats(t *testing.T) {
+	// K_n: K2 = n*C(n-1,2); K1 = C(n,2) for n >= 3.
+	n := 7
+	s := ComputeStats(Complete(n))
+	wantK2 := int64(n) * int64(n-1) * int64(n-2) / 2
+	if s.K2 != wantK2 {
+		t.Fatalf("K2 = %d, want %d", s.K2, wantK2)
+	}
+	wantK1 := int64(n) * int64(n-1) / 2
+	if s.K1 != wantK1 {
+		t.Fatalf("K1 = %d, want %d", s.K1, wantK1)
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g, err := Circulant(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := Circulant(10, 3); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := Circulant(4, 4); err == nil {
+		t.Fatal("k >= n accepted")
+	}
+}
+
+func TestStarAndCycleAndGrid(t *testing.T) {
+	st := Star(5)
+	if st.Degree(0) != 4 || st.Degree(1) != 1 {
+		t.Fatalf("star degrees wrong")
+	}
+	cy := Cycle(5)
+	if cy.NumEdges() != 5 {
+		t.Fatalf("C5 has %d edges", cy.NumEdges())
+	}
+	gr := Grid(3, 4)
+	if gr.NumEdges() != 3*3+2*4 {
+		t.Fatalf("3x4 grid has %d edges, want 17", gr.NumEdges())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 0.1, rng.New(3))
+	b := ErdosRenyi(50, 0.1, rng.New(3))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestChungLuShape(t *testing.T) {
+	g := ChungLu(500, 2.5, 8, rng.New(4))
+	s := ComputeStats(g)
+	if s.Edges == 0 {
+		t.Fatal("Chung-Lu generated no edges")
+	}
+	if s.AvgDegree < 2 || s.AvgDegree > 16 {
+		t.Fatalf("average degree %v far from target 8", s.AvgDegree)
+	}
+	// Heavy tail: max degree should well exceed the average.
+	if float64(s.MaxDegree) < 3*s.AvgDegree {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %v", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestQuickBuilderInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		trials := int(mRaw)
+		src := rng.New(seed)
+		b := NewBuilder(n)
+		for i := 0; i < trials; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u == v {
+				continue
+			}
+			b.MustAddEdge(u, v, 1+src.Float64())
+		}
+		g := b.Build(nil)
+		// Handshake: sum of degrees = 2|E|.
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			return false
+		}
+		// Every edge canonical and discoverable from both endpoints.
+		for i, e := range g.Edges() {
+			if e.U >= e.V {
+				return false
+			}
+			id1, ok1 := g.EdgeBetween(int(e.U), int(e.V))
+			id2, ok2 := g.EdgeBetween(int(e.V), int(e.U))
+			if !ok1 || !ok2 || id1 != int32(i) || id2 != int32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

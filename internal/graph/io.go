@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text serialization. The format is line oriented:
+//
+//	# comment
+//	vertices <n>
+//	label <v> <text>          (optional, any number)
+//	edge <u> <v> <weight>
+//
+// Edge ids are assigned in file order, so a round trip preserves them.
+
+// Write serializes g to w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "vertices %d\n", g.NumVertices())
+	if g.Labeled() {
+		for v := 0; v < g.NumVertices(); v++ {
+			fmt.Fprintf(bw, "label %d %s\n", v, g.Label(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %s\n", e.U, e.V, strconv.FormatFloat(e.Weight, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	var labels map[int]string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "vertices":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertices directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'vertices <n>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(n)
+			labels = make(map[int]string)
+		case "label":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: label before vertices", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'label <v> <text>'", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v >= b.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[1])
+			}
+			labels[v] = strings.Join(fields[2:], " ")
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before vertices", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'edge <u> <v> <w>'", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+			}
+			if err := b.AddEdge(u, v, w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: input has no vertices directive")
+	}
+	if len(labels) > 0 {
+		ls := make([]string, b.NumVertices())
+		for v := range ls {
+			if l, ok := labels[v]; ok {
+				ls[v] = l
+			} else {
+				ls[v] = strconv.Itoa(v)
+			}
+		}
+		b.labels = ls
+	}
+	return b.Build(nil), nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"linkclust/internal/rng"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := ErdosRenyi(30, 0.2, rng.New(1))
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			h.NumVertices(), h.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i) != h.Edge(i) {
+			t.Fatalf("edge %d: %+v vs %+v", i, g.Edge(i), h.Edge(i))
+		}
+	}
+}
+
+func TestRoundTripLabels(t *testing.T) {
+	b := NewLabeledBuilder([]string{"alpha", "beta gamma", "delta"})
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 1.25)
+	g := b.Build(nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Labeled() {
+		t.Fatal("labels lost in round trip")
+	}
+	for v := 0; v < 3; v++ {
+		if g.Label(v) != h.Label(v) {
+			t.Fatalf("label %d: %q vs %q", v, g.Label(v), h.Label(v))
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+vertices 3
+
+edge 0 1 1.5
+# another
+edge 1 2 2
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("%d edges, want 2", g.NumEdges())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no vertices
+		"edge 0 1 1",                          // edge before vertices
+		"vertices x",                          // bad count
+		"vertices -1",                         // negative count
+		"vertices 2\nvertices 2",              // duplicate directive
+		"vertices 2\nedge 0 1",                // short edge line
+		"vertices 2\nedge 0 1 zero",           // bad weight
+		"vertices 2\nedge 0 0 1",              // self-loop
+		"vertices 2\nedge 0 5 1",              // out of range
+		"vertices 2\nedge 0 1 -1",             // non-positive weight
+		"vertices 2\nlabel 5 x\nedge 0 1 1",   // label out of range
+		"vertices 2\nbogus 1 2\nedge 0 1 1.0", // unknown directive
+		"label 0 x",                           // label before vertices
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadPartialLabelsFillDefaults(t *testing.T) {
+	in := "vertices 3\nlabel 1 middle\nedge 0 1 1\nedge 1 2 1\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(0) != "0" || g.Label(1) != "middle" || g.Label(2) != "2" {
+		t.Fatalf("labels = %q %q %q", g.Label(0), g.Label(1), g.Label(2))
+	}
+}

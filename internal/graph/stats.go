@@ -1,0 +1,75 @@
+package graph
+
+// Stats collects the structural quantities used throughout the paper's
+// complexity analysis (Section IV-C) and evaluation (Fig. 4(1)).
+type Stats struct {
+	Vertices int
+	Edges    int
+	Density  float64
+	// K1 is the number of vertex pairs with at least one common neighbor
+	// (= number of keys of map M in Algorithm 1).
+	K1 int64
+	// K2 is the number of pairs of incident edges: sum over vertices of
+	// C(degree, 2).
+	K2 int64
+	// K3 is the number of pairs of distinct edges: C(|E|, 2).
+	K3 int64
+	// MaxDegree and AvgDegree summarize the degree distribution.
+	MaxDegree int
+	AvgDegree float64
+}
+
+// ComputeStats returns the structural statistics of g. Computing K1 requires
+// enumerating neighbor pairs, which is Θ(K2) time and Θ(K1) space; the other
+// fields are linear.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Density:  g.Density(),
+	}
+	var degSum int64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(v)
+		degSum += int64(d)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.K2 += int64(d) * int64(d-1) / 2
+	}
+	if g.NumVertices() > 0 {
+		s.AvgDegree = float64(degSum) / float64(g.NumVertices())
+	}
+	m := int64(g.NumEdges())
+	s.K3 = m * (m - 1) / 2
+	s.K1 = CountVertexPairsWithCommonNeighbor(g)
+	return s
+}
+
+// CountVertexPairsWithCommonNeighbor returns K1: the number of unordered
+// vertex pairs sharing at least one common neighbor. Pairs are counted once
+// regardless of how many neighbors they share, and adjacency of the pair
+// itself is irrelevant.
+func CountVertexPairsWithCommonNeighbor(g *Graph) int64 {
+	seen := make(map[uint64]struct{})
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(v)
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				a, b := nb[i].To, nb[j].To
+				seen[pairKey(a, b)] = struct{}{}
+			}
+		}
+	}
+	return int64(len(seen))
+}
+
+// pairKey packs a canonical vertex pair into one map key. Callers guarantee
+// a != b; adjacency lists are sorted so a < b already holds for neighbor
+// pairs, but we canonicalize defensively.
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}

@@ -1,0 +1,190 @@
+// Package metrics provides ground-truth-free quality measures for node
+// covers produced by link clustering: edge coverage, per-community
+// conductance, and the extended (overlapping) modularity EQ of Shen et al.
+// (2009). Together with partition density (internal/dendro) and overlapping
+// NMI (internal/onmi, which needs ground truth) they form the evaluation
+// toolkit for recovered communities.
+package metrics
+
+import (
+	"errors"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/onmi"
+)
+
+// Coverage returns the fraction of edges whose endpoints share at least one
+// community of the cover — 1 when every edge is intra-community. Graphs
+// without edges score 0.
+func Coverage(g *graph.Graph, cover onmi.Cover) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	member := membershipSets(g.NumVertices(), cover)
+	covered := 0
+	for _, e := range g.Edges() {
+		if shareCommunity(member[e.U], member[e.V]) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(g.NumEdges())
+}
+
+// Conductance returns the weighted conductance of one node set S:
+// cut(S) / min(vol(S), vol(V∖S)), where vol is the sum of incident edge
+// weights and cut the weight crossing the boundary. Lower is better; a set
+// with no boundary scores 0. Degenerate sets (empty volume on either side)
+// score 1.
+func Conductance(g *graph.Graph, community []int32) float64 {
+	in := make(map[int32]bool, len(community))
+	for _, v := range community {
+		in[v] = true
+	}
+	var cut, volIn, volOut float64
+	for _, e := range g.Edges() {
+		switch {
+		case in[e.U] && in[e.V]:
+			volIn += 2 * e.Weight
+		case !in[e.U] && !in[e.V]:
+			volOut += 2 * e.Weight
+		default:
+			cut += e.Weight
+			volIn += e.Weight
+			volOut += e.Weight
+		}
+	}
+	min := volIn
+	if volOut < min {
+		min = volOut
+	}
+	if min == 0 {
+		if cut == 0 {
+			return 0
+		}
+		return 1
+	}
+	return cut / min
+}
+
+// MeanConductance averages Conductance over the cover's communities.
+func MeanConductance(g *graph.Graph, cover onmi.Cover) float64 {
+	if len(cover) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, c := range cover {
+		if len(c) == 0 {
+			continue
+		}
+		sum += Conductance(g, c)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// OverlapModularity computes the extended modularity EQ (Shen et al. 2009)
+// of a cover on a weighted graph:
+//
+//	EQ = 1/(2m) Σ_c Σ_{u,v ∈ c} (A_uv − k_u·k_v/(2m)) / (O_u·O_v),
+//
+// where m is the total edge weight, k the weighted degree, and O_v the
+// number of communities containing v. Nodes outside every community are
+// skipped (they contribute no pairs). EQ reduces to Newman modularity for
+// non-overlapping partitions. An error is returned when the graph has no
+// edges or the cover is empty.
+func OverlapModularity(g *graph.Graph, cover onmi.Cover) (float64, error) {
+	if g.NumEdges() == 0 {
+		return 0, errors.New("metrics: graph has no edges")
+	}
+	nonEmpty := 0
+	for _, c := range cover {
+		if len(c) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return 0, errors.New("metrics: cover is empty")
+	}
+
+	n := g.NumVertices()
+	degree := make([]float64, n)
+	var m2 float64 // 2m
+	for _, e := range g.Edges() {
+		degree[e.U] += e.Weight
+		degree[e.V] += e.Weight
+		m2 += 2 * e.Weight
+	}
+	memberCount := make([]float64, n)
+	for _, c := range cover {
+		seen := make(map[int32]bool, len(c))
+		for _, v := range c {
+			if !seen[v] {
+				seen[v] = true
+				memberCount[v]++
+			}
+		}
+	}
+
+	var eq float64
+	for _, c := range cover {
+		// Distinct members only.
+		seen := make(map[int32]bool, len(c))
+		members := make([]int32, 0, len(c))
+		for _, v := range c {
+			if !seen[v] {
+				seen[v] = true
+				members = append(members, v)
+			}
+		}
+		for i := 0; i < len(members); i++ {
+			u := members[i]
+			for j := 0; j < len(members); j++ {
+				v := members[j]
+				// u == v stays in the sum: A_uu is 0 (no self-loops)
+				// but the null model keeps k_u²/2m, which is what makes
+				// the all-in-one cover score exactly 0, as in Newman
+				// modularity.
+				a := 0.0
+				if u != v {
+					a = g.Weight(int(u), int(v))
+				}
+				eq += (a - degree[u]*degree[v]/m2) / (memberCount[u] * memberCount[v])
+			}
+		}
+	}
+	return eq / m2, nil
+}
+
+// membershipSets returns, for every vertex, the set of community indices
+// containing it.
+func membershipSets(n int, cover onmi.Cover) []map[int]bool {
+	out := make([]map[int]bool, n)
+	for ci, c := range cover {
+		for _, v := range c {
+			if v < 0 || int(v) >= n {
+				continue
+			}
+			if out[v] == nil {
+				out[v] = make(map[int]bool, 2)
+			}
+			out[v][ci] = true
+		}
+	}
+	return out
+}
+
+func shareCommunity(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for c := range a {
+		if b[c] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/onmi"
+)
+
+// twoCliques returns two K4s joined by a single bridge edge, with the
+// natural two-community cover.
+func twoCliques() (*graph.Graph, onmi.Cover) {
+	b := graph.NewBuilder(8)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.MustAddEdge(u, v, 1)
+		}
+	}
+	for u := 4; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.MustAddEdge(u, v, 1)
+		}
+	}
+	b.MustAddEdge(3, 4, 1) // bridge
+	return b.Build(nil), onmi.Cover{{0, 1, 2, 3}, {4, 5, 6, 7}}
+}
+
+func TestCoverage(t *testing.T) {
+	g, cover := twoCliques()
+	// 12 of 13 edges are intra-community.
+	if got := Coverage(g, cover); math.Abs(got-12.0/13) > 1e-12 {
+		t.Fatalf("coverage = %v, want 12/13", got)
+	}
+	// A cover with everything covers all edges.
+	all := onmi.Cover{{0, 1, 2, 3, 4, 5, 6, 7}}
+	if got := Coverage(g, all); got != 1 {
+		t.Fatalf("full cover coverage = %v", got)
+	}
+	// Empty graph.
+	if got := Coverage(graph.NewBuilder(3).Build(nil), cover); got != 0 {
+		t.Fatalf("empty graph coverage = %v", got)
+	}
+}
+
+func TestCoverageWithOverlap(t *testing.T) {
+	// Path a-b-c with b in both communities: both edges covered.
+	b := graph.NewBuilder(3)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 1)
+	g := b.Build(nil)
+	cover := onmi.Cover{{0, 1}, {1, 2}}
+	if got := Coverage(g, cover); got != 1 {
+		t.Fatalf("overlap coverage = %v, want 1", got)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	g, cover := twoCliques()
+	// Each clique: cut 1, vol_in = 2*6 + 1 = 13.
+	want := 1.0 / 13
+	for _, c := range cover {
+		if got := Conductance(g, c); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("clique conductance = %v, want %v", got, want)
+		}
+	}
+	// The whole graph has no boundary.
+	if got := Conductance(g, []int32{0, 1, 2, 3, 4, 5, 6, 7}); got != 0 {
+		t.Fatalf("whole-graph conductance = %v, want 0", got)
+	}
+	// A random split cuts much more.
+	if got := Conductance(g, []int32{0, 4}); got < 5*want {
+		t.Fatalf("bad split conductance %v not clearly worse than %v", got, want)
+	}
+}
+
+func TestMeanConductance(t *testing.T) {
+	g, cover := twoCliques()
+	mc := MeanConductance(g, cover)
+	if math.Abs(mc-1.0/13) > 1e-12 {
+		t.Fatalf("mean conductance = %v", mc)
+	}
+	if MeanConductance(g, nil) != 0 {
+		t.Fatal("empty cover mean conductance != 0")
+	}
+	if MeanConductance(g, onmi.Cover{{}}) != 0 {
+		t.Fatal("cover of empty communities != 0")
+	}
+}
+
+func TestOverlapModularityPartitionCase(t *testing.T) {
+	g, cover := twoCliques()
+	eq, err := OverlapModularity(g, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a non-overlapping partition EQ is Newman modularity; the
+	// two-clique split scores high.
+	if eq < 0.3 {
+		t.Fatalf("two-clique EQ = %v, expected > 0.3", eq)
+	}
+	// One community holding everything scores 0 (A sums to 2m and the
+	// null model sums to 2m).
+	all := onmi.Cover{{0, 1, 2, 3, 4, 5, 6, 7}}
+	eqAll, err := OverlapModularity(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eqAll) > 1e-9 {
+		t.Fatalf("trivial cover EQ = %v, want 0", eqAll)
+	}
+	if eq <= eqAll {
+		t.Fatalf("good cover (%v) not better than trivial (%v)", eq, eqAll)
+	}
+}
+
+func TestOverlapModularityDiscountsSharedNodes(t *testing.T) {
+	// Two triangles sharing node 2.
+	b := graph.NewBuilder(5)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(0, 2, 1)
+	b.MustAddEdge(1, 2, 1)
+	b.MustAddEdge(2, 3, 1)
+	b.MustAddEdge(2, 4, 1)
+	b.MustAddEdge(3, 4, 1)
+	g := b.Build(nil)
+	overlap := onmi.Cover{{0, 1, 2}, {2, 3, 4}}
+	eq, err := OverlapModularity(g, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq <= 0 {
+		t.Fatalf("overlapping triangles EQ = %v, want positive", eq)
+	}
+	// Moving the shared node into only one community still scores, but
+	// the overlapping cover must beat a deliberately wrong cover.
+	wrong := onmi.Cover{{0, 3}, {1, 4}, {2}}
+	eqWrong, err := OverlapModularity(g, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq <= eqWrong {
+		t.Fatalf("overlap cover (%v) not better than wrong cover (%v)", eq, eqWrong)
+	}
+}
+
+func TestOverlapModularityErrors(t *testing.T) {
+	g := graph.NewBuilder(3).Build(nil)
+	if _, err := OverlapModularity(g, onmi.Cover{{0}}); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+	g2, _ := twoCliques()
+	if _, err := OverlapModularity(g2, nil); err == nil {
+		t.Fatal("empty cover accepted")
+	}
+	if _, err := OverlapModularity(g2, onmi.Cover{{}}); err == nil {
+		t.Fatal("cover of empty communities accepted")
+	}
+}

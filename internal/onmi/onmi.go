@@ -1,0 +1,139 @@
+// Package onmi implements normalized mutual information for *overlapping*
+// covers (Lancichinetti, Fortunato & Kertész, New J. Phys. 11, 2009) — the
+// standard score for comparing recovered overlapping communities against
+// planted ground truth. Unlike partition NMI, it treats each community as a
+// binary membership variable over the node set and matches communities
+// across the two covers by minimum conditional entropy.
+package onmi
+
+import (
+	"errors"
+	"math"
+)
+
+// Cover is a set of communities over nodes 0..n-1; each community is a node
+// set (order irrelevant, duplicates ignored). Nodes may appear in several
+// communities or in none.
+type Cover [][]int32
+
+// Compare returns the LFK overlapping NMI between two covers over n nodes:
+// 1 for identical covers, 0 for independent ones. It is symmetric. An error
+// is returned if n is not positive, a node is out of range, or either cover
+// has no non-empty community.
+func Compare(x, y Cover, n int) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("onmi: node count must be positive")
+	}
+	xs, err := toSets(x, n)
+	if err != nil {
+		return 0, err
+	}
+	ys, err := toSets(y, n)
+	if err != nil {
+		return 0, err
+	}
+	if len(xs) == 0 || len(ys) == 0 {
+		return 0, errors.New("onmi: covers must contain a non-empty community")
+	}
+	hxGivenY := normalizedConditional(xs, ys, n)
+	hyGivenX := normalizedConditional(ys, xs, n)
+	return 1 - (hxGivenY+hyGivenX)/2, nil
+}
+
+// toSets converts a cover to bitsets, dropping empty communities.
+func toSets(c Cover, n int) ([][]bool, error) {
+	out := make([][]bool, 0, len(c))
+	for _, comm := range c {
+		if len(comm) == 0 {
+			continue
+		}
+		set := make([]bool, n)
+		for _, v := range comm {
+			if v < 0 || int(v) >= n {
+				return nil, errors.New("onmi: node id out of range")
+			}
+			set[v] = true
+		}
+		out = append(out, set)
+	}
+	return out, nil
+}
+
+// h is the entropy contribution -p log2 p for a count out of n.
+func h(count, n int) float64 {
+	if count == 0 || count == n {
+		return 0
+	}
+	p := float64(count) / float64(n)
+	return -p * math.Log2(p)
+}
+
+// entropy returns H(X_k) of one membership indicator.
+func entropy(size, n int) float64 {
+	return h(size, n) + h(n-size, n)
+}
+
+// normalizedConditional returns H(X|Y)_norm = mean over k of
+// H(X_k|Y)/H(X_k), per the LFK definition. Communities with zero entropy
+// (covering nothing or everything) contribute their unnormalized fallback
+// of 1 only when unmatched; LFK sets the normalized term to 1 in that case
+// via the H(X_k) fallback, but zero-entropy communities are excluded from
+// the mean to keep the score finite.
+func normalizedConditional(xs, ys [][]bool, n int) float64 {
+	var sum float64
+	counted := 0
+	for _, xk := range xs {
+		sizeX := count(xk)
+		hx := entropy(sizeX, n)
+		if hx == 0 {
+			continue
+		}
+		best := hx // fallback: H(X_k|Y) = H(X_k) when nothing qualifies
+		for _, yl := range ys {
+			if ce, ok := conditional(xk, yl, n); ok && ce < best {
+				best = ce
+			}
+		}
+		sum += best / hx
+		counted++
+	}
+	if counted == 0 {
+		return 1
+	}
+	return sum / float64(counted)
+}
+
+// conditional computes H(X_k | Y_l) from the 2×2 joint distribution, under
+// the LFK acceptance constraint h(11)+h(00) >= h(10)+h(01), which rejects
+// complement-like matches. Reports ok=false when rejected.
+func conditional(xk, yl []bool, n int) (float64, bool) {
+	var n11, n10, n01, n00 int
+	for i := 0; i < n; i++ {
+		switch {
+		case xk[i] && yl[i]:
+			n11++
+		case xk[i] && !yl[i]:
+			n10++
+		case !xk[i] && yl[i]:
+			n01++
+		default:
+			n00++
+		}
+	}
+	if h(n11, n)+h(n00, n) < h(n10, n)+h(n01, n) {
+		return 0, false
+	}
+	sizeY := n11 + n01
+	joint := h(n11, n) + h(n10, n) + h(n01, n) + h(n00, n)
+	return joint - entropy(sizeY, n), true
+}
+
+func count(set []bool) int {
+	c := 0
+	for _, b := range set {
+		if b {
+			c++
+		}
+	}
+	return c
+}

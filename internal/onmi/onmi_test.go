@@ -1,0 +1,154 @@
+package onmi
+
+import (
+	"math"
+	"testing"
+
+	"linkclust/internal/rng"
+)
+
+func mustCompare(t *testing.T, x, y Cover, n int) float64 {
+	t.Helper()
+	v, err := Compare(x, y, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestIdenticalCovers(t *testing.T) {
+	c := Cover{{0, 1, 2}, {3, 4, 5}, {6, 7}}
+	if v := mustCompare(t, c, c, 8); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("identical covers NMI = %v, want 1", v)
+	}
+}
+
+func TestIdenticalOverlappingCovers(t *testing.T) {
+	c := Cover{{0, 1, 2, 3}, {3, 4, 5, 6}} // node 3 overlaps
+	if v := mustCompare(t, c, c, 8); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("identical overlapping covers NMI = %v, want 1", v)
+	}
+}
+
+func TestPermutedCommunityOrder(t *testing.T) {
+	x := Cover{{0, 1, 2}, {3, 4, 5}}
+	y := Cover{{3, 4, 5}, {0, 1, 2}}
+	if v := mustCompare(t, x, y, 6); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("permuted covers NMI = %v, want 1", v)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	x := Cover{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	y := Cover{{0, 1, 4}, {2, 3, 5}, {6, 7}}
+	a := mustCompare(t, x, y, 8)
+	b := mustCompare(t, y, x, 8)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", a, b)
+	}
+}
+
+func TestRandomCoversScoreLow(t *testing.T) {
+	src := rng.New(3)
+	n := 200
+	mk := func() Cover {
+		var c Cover
+		for k := 0; k < 8; k++ {
+			var comm []int32
+			for v := 0; v < n; v++ {
+				if src.Float64() < 0.12 {
+					comm = append(comm, int32(v))
+				}
+			}
+			if len(comm) > 0 {
+				c = append(c, comm)
+			}
+		}
+		return c
+	}
+	v := mustCompare(t, mk(), mk(), n)
+	if v > 0.25 {
+		t.Fatalf("independent covers scored %v, expected near 0", v)
+	}
+	if v < -1e-9 {
+		t.Fatalf("NMI below 0: %v", v)
+	}
+}
+
+func TestPartialAgreementOrdering(t *testing.T) {
+	truth := Cover{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	good := Cover{{0, 1, 2, 3}, {4, 5, 6, 7, 8, 9}} // one node misplaced
+	bad := Cover{{0, 2, 4, 6, 8}, {1, 3, 5, 7, 9}}  // orthogonal
+	vGood := mustCompare(t, truth, good, 10)
+	vBad := mustCompare(t, truth, bad, 10)
+	if vGood <= vBad {
+		t.Fatalf("ordering violated: good %v <= bad %v", vGood, vBad)
+	}
+	if vGood >= 1 {
+		t.Fatalf("imperfect match scored %v", vGood)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	src := rng.New(9)
+	n := 50
+	for trial := 0; trial < 20; trial++ {
+		mk := func() Cover {
+			var c Cover
+			k := 2 + src.Intn(5)
+			for i := 0; i < k; i++ {
+				var comm []int32
+				for v := 0; v < n; v++ {
+					if src.Float64() < 0.3 {
+						comm = append(comm, int32(v))
+					}
+				}
+				if len(comm) > 0 {
+					c = append(c, comm)
+				}
+			}
+			if len(c) == 0 {
+				c = Cover{{0}}
+			}
+			return c
+		}
+		v := mustCompare(t, mk(), mk(), n)
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("trial %d: NMI %v out of [0,1]", trial, v)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Compare(Cover{{0}}, Cover{{0}}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Compare(Cover{{5}}, Cover{{0}}, 3); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := Compare(Cover{}, Cover{{0}}, 3); err == nil {
+		t.Fatal("empty cover accepted")
+	}
+	if _, err := Compare(Cover{{}}, Cover{{0}}, 3); err == nil {
+		t.Fatal("cover of empty communities accepted")
+	}
+}
+
+func TestComplementNotMatched(t *testing.T) {
+	// The LFK constraint must reject matching a community with its own
+	// complement: {0,1} vs its complement {2,3,...} carries the same
+	// "information" numerically but is the wrong answer semantically.
+	x := Cover{{0, 1}}
+	y := Cover{{2, 3, 4, 5, 6, 7}}
+	v := mustCompare(t, x, y, 8)
+	if v > 1e-9 {
+		t.Fatalf("complement match scored %v, want 0", v)
+	}
+}
+
+func TestDuplicateNodesIgnored(t *testing.T) {
+	a := mustCompare(t, Cover{{0, 0, 1}}, Cover{{0, 1}}, 4)
+	if math.Abs(a-1) > 1e-12 {
+		t.Fatalf("duplicate node changed score: %v", a)
+	}
+}

@@ -1,0 +1,151 @@
+package planted
+
+import (
+	"testing"
+
+	"linkclust/internal/graph"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.NumVertices() != cfg.Nodes {
+		t.Fatalf("vertices = %d, want %d", b.Graph.NumVertices(), cfg.Nodes)
+	}
+	target := int(cfg.AvgDegree * float64(cfg.Nodes) / 2)
+	if b.Graph.NumEdges() < target*8/10 {
+		t.Fatalf("edges = %d, want near %d", b.Graph.NumEdges(), target)
+	}
+	if len(b.Cover) != cfg.Communities {
+		t.Fatalf("cover has %d communities, want %d", len(b.Cover), cfg.Communities)
+	}
+	// Every node has 1 or 2 memberships, consistent with the cover.
+	seen := make(map[int32]int)
+	for c, comm := range b.Cover {
+		for _, v := range comm {
+			seen[v]++
+			found := false
+			for _, m := range b.Memberships[v] {
+				if m == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d in cover %d but not in memberships", v, c)
+			}
+		}
+	}
+	overlapping := 0
+	for v := 0; v < cfg.Nodes; v++ {
+		m := len(b.Memberships[v])
+		if m < 1 || m > 2 {
+			t.Fatalf("node %d has %d memberships", v, m)
+		}
+		if seen[int32(v)] != m {
+			t.Fatalf("node %d: cover count %d != membership count %d", v, seen[int32(v)], m)
+		}
+		if m == 2 {
+			overlapping++
+		}
+	}
+	if overlapping == 0 {
+		t.Fatal("no overlapping nodes generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for i := 0; i < a.Graph.NumEdges(); i++ {
+		if a.Graph.Edge(i) != b.Graph.Edge(i) {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMixingAffectsStructure(t *testing.T) {
+	// With low mu, intra-community edges dominate: the average weight of
+	// edges inside a community should exceed that across communities.
+	cfg := DefaultConfig()
+	cfg.Mu = 0.15
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameComm := func(u, v int32) bool {
+		for _, cu := range b.Memberships[u] {
+			for _, cv := range b.Memberships[v] {
+				if cu == cv {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var intraW, interW float64
+	var intraN, interN int
+	for _, e := range b.Graph.Edges() {
+		if sameComm(e.U, e.V) {
+			intraW += e.Weight
+			intraN++
+		} else {
+			interW += e.Weight
+			interN++
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Fatalf("degenerate split: %d intra, %d inter", intraN, interN)
+	}
+	if intraN < 2*interN {
+		t.Fatalf("intra edges (%d) should dominate inter (%d) at mu=0.15", intraN, interN)
+	}
+	if intraW/float64(intraN) <= interW/float64(interN) {
+		t.Fatal("intra-community edges should be heavier")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Communities: 1, AvgDegree: 2},
+		{Nodes: 10, Communities: 0, AvgDegree: 2},
+		{Nodes: 10, Communities: 11, AvgDegree: 2},
+		{Nodes: 10, Communities: 2, AvgDegree: 0},
+		{Nodes: 10, Communities: 2, AvgDegree: 2, Mu: 1},
+		{Nodes: 10, Communities: 2, AvgDegree: 2, Mu: -0.1},
+		{Nodes: 10, Communities: 2, AvgDegree: 2, OverlapFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateSingleCommunity(t *testing.T) {
+	cfg := Config{Nodes: 20, Communities: 1, AvgDegree: 4, Mu: 0.1, OverlapFrac: 0.5, Seed: 2}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one community nobody can overlap.
+	for v, m := range b.Memberships {
+		if len(m) != 1 {
+			t.Fatalf("node %d has %d memberships with 1 community", v, len(m))
+		}
+	}
+	if _, count := graph.ConnectedComponents(b.Graph); count > 5 {
+		t.Fatalf("single community fractured into %d components", count)
+	}
+}

@@ -1,0 +1,147 @@
+// Package plot renders small ASCII scatter/line charts for the benchmark
+// harness, so the figure-regeneration CLI can show curve shapes (Fig. 2's
+// sigmoid curves, Fig. 6's scaling curves) directly in a terminal next to
+// the tabular data.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options configures a chart.
+type Options struct {
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64×16).
+	Width, Height int
+	// LogX plots log10(x); every x must then be positive.
+	LogX bool
+	// Title, XLabel and YLabel annotate the chart.
+	Title, XLabel, YLabel string
+}
+
+// seriesMarkers are assigned to series in order.
+var seriesMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into w as an ASCII chart with axes, ticks and a
+// legend. Overlapping points show the marker of the later series.
+func Render(w io.Writer, series []Series, opts Options) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	tx := func(x float64) float64 { return x }
+	if opts.LogX {
+		tx = math.Log10
+	}
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if opts.LogX && s.X[i] <= 0 {
+				return fmt.Errorf("plot: series %q has non-positive x %v with LogX", s.Name, s.X[i])
+			}
+			x, y := tx(s.X[i]), s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return fmt.Errorf("plot: series %q contains NaN", s.Name)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			points++
+		}
+	}
+	if points == 0 {
+		return errors.New("plot: series contain no points")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	// Rasterize.
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			cx := int(math.Round((tx(s.X[i]) - minX) / (maxX - minX) * float64(opts.Width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(opts.Height-1)))
+			row := opts.Height - 1 - cy // y grows upward
+			grid[row][cx] = marker
+		}
+	}
+
+	// Emit.
+	if opts.Title != "" {
+		fmt.Fprintf(w, "%s\n", opts.Title)
+	}
+	yTickRows := map[int]float64{
+		0:               maxY,
+		opts.Height / 2: (minY + maxY) / 2,
+		opts.Height - 1: minY,
+	}
+	labelWidth := 10
+	for r := 0; r < opts.Height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		if v, ok := yTickRows[r]; ok {
+			label = fmt.Sprintf("%*s", labelWidth, compact(v))
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", opts.Width))
+	lo, hi := compact(minX), compact(maxX)
+	if opts.LogX {
+		lo, hi = "10^"+lo, "10^"+hi
+	}
+	gap := opts.Width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), lo, strings.Repeat(" ", gap), hi)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelWidth), opts.XLabel, opts.YLabel)
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarkers[si%len(seriesMarkers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelWidth), strings.Join(legend, "   "))
+	return nil
+}
+
+// compact renders a tick value briefly.
+func compact(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 0.01 && a < 10000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.1e", v)
+	}
+}

@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	}, Options{Width: 20, Height: 10, Title: "demo", XLabel: "t", YLabel: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* line", "x: t, y: v", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An increasing line has its marker in the top-right region and the
+	// bottom-left corner of the plot area.
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d plot rows, want 10", len(rows))
+	}
+	if !strings.Contains(rows[0], "*") || !strings.Contains(rows[len(rows)-1], "*") {
+		t.Fatalf("line endpoints missing:\n%s", out)
+	}
+	if strings.TrimSpace(rows[0])[0] != '*' {
+		// top row should only have the right-end marker
+		t.Fatalf("unexpected top row content %q", rows[0])
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}, Options{Width: 10, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "*") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{
+		{Name: "s", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}},
+	}, Options{Width: 21, Height: 5, LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "10^0") || !strings.Contains(out, "10^2") {
+		t.Fatalf("log ticks missing:\n%s", out)
+	}
+	// With LogX the three decades are equally spaced: the middle point
+	// lands in the middle column.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if i := strings.Index(l, "|"); i >= 0 {
+			row := l[i+1:]
+			if len(row) > 10 && row[10] == '*' {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("mid-decade point not centered:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, nil, Options{}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "s"}}, Options{}); err == nil {
+		t.Fatal("pointless series accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1}}}, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "s", X: []float64{-1}, Y: []float64{1}}}, Options{LogX: true}); err == nil {
+		t.Fatal("non-positive x with LogX accepted")
+	}
+	if err := Render(&buf, []Series{{Name: "s", X: []float64{math.NaN()}, Y: []float64{1}}}, Options{}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// A single point (zero x/y span) must render without division by zero.
+	var buf bytes.Buffer
+	err := Render(&buf, []Series{{Name: "pt", X: []float64{5}, Y: []float64{5}}},
+		Options{Width: 10, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("point not drawn:\n%s", buf.String())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		1234:    "1.23e+03",
+		0.001:   "1.0e-03",
+		-2.25:   "-2.25",
+		1000000: "1.0e+06",
+	}
+	for in, want := range cases {
+		if got := compact(in); got != want {
+			t.Errorf("compact(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

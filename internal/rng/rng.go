@@ -1,0 +1,126 @@
+// Package rng provides a small, deterministic pseudo-random toolkit used by
+// workload generators and by the edge-permutation step of the sweeping
+// algorithm. All generators are seeded explicitly so every experiment in the
+// repository is reproducible bit-for-bit.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood; OOPSLA 2014): a tiny,
+// fast, well-distributed 64-bit generator whose entire state is one word,
+// which makes it trivial to fork independent streams for parallel workers.
+package rng
+
+import "math"
+
+// Source is a deterministic 64-bit pseudo-random generator based on
+// SplitMix64. The zero value is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Fork returns a new, statistically independent Source derived from s.
+// Forking advances s.
+func (s *Source) Fork() *Source {
+	return &Source{state: s.Uint64()}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice of ints.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the supplied swap
+// function (Fisher–Yates).
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Box–Muller transform.
+func (s *Source) NormFloat64() float64 {
+	// Avoid u1 == 0, for which Log diverges.
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Zipf samples from a bounded Zipf distribution over {0, ..., n-1} with
+// exponent alpha > 0: P(k) ∝ 1/(k+1)^alpha. It precomputes the cumulative
+// distribution at construction time, so sampling is O(log n).
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n ranks with the given exponent.
+// It panics if n <= 0 or alpha <= 0.
+func NewZipf(src *Source, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with non-positive n")
+	}
+	if alpha <= 0 {
+		panic("rng: NewZipf called with non-positive alpha")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -alpha)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N()) with Zipfian probabilities (rank 0 is the
+// most frequent).
+func (z *Zipf) Sample() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,165 @@
+// Package sigmoid implements the coarse-grained-clustering predictive model
+// of Section V: the sigmoid curve
+//
+//	y = a / (1 + exp(-k·(log x − b))) + c
+//
+// that the paper fits to the normalized cluster-count-versus-level curves
+// (Fig. 2(2)), together with a dependency-free Nelder–Mead simplex optimizer
+// used to fit it by least squares.
+package sigmoid
+
+import (
+	"errors"
+	"math"
+)
+
+// NelderMeadOptions tunes the downhill-simplex search.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of simplex iterations (default 2000).
+	MaxIter int
+	// Tol terminates when the simplex's function-value spread falls below
+	// it (default 1e-10).
+	Tol float64
+	// Step is the initial simplex displacement per coordinate
+	// (default 0.1, or 10% of the coordinate when larger).
+	Step float64
+}
+
+func (o *NelderMeadOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+}
+
+// NelderMead minimizes f starting from x0 using the downhill simplex method
+// (Nelder & Mead 1965) with standard coefficients (reflection 1, expansion
+// 2, contraction 0.5, shrink 0.5). It returns the best point found and its
+// value. An error is returned for an empty starting point.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, errors.New("sigmoid: empty starting point")
+	}
+	opts.defaults()
+
+	// Build the initial simplex.
+	simplex := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range simplex {
+		pt := append([]float64(nil), x0...)
+		if i > 0 {
+			d := opts.Step
+			if s := math.Abs(pt[i-1]) * opts.Step; s > d {
+				d = s
+			}
+			pt[i-1] += d
+		}
+		simplex[i] = pt
+		vals[i] = f(pt)
+	}
+
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Order: find best, worst, second-worst.
+		best, worst := 0, 0
+		for i := 1; i <= n; i++ {
+			if vals[i] < vals[best] {
+				best = i
+			}
+			if vals[i] > vals[worst] {
+				worst = i
+			}
+		}
+		if vals[worst]-vals[best] < opts.Tol {
+			break
+		}
+		second := best
+		for i := 0; i <= n; i++ {
+			if i != worst && vals[i] > vals[second] {
+				second = i
+			}
+		}
+
+		// Centroid of all but the worst.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+		}
+		for i := 0; i <= n; i++ {
+			if i == worst {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] /= float64(n)
+		}
+
+		eval := func(coef float64) float64 {
+			for j := 0; j < n; j++ {
+				trial[j] = centroid[j] + coef*(centroid[j]-simplex[worst][j])
+			}
+			return f(trial)
+		}
+
+		// Reflection.
+		fr := eval(1)
+		switch {
+		case fr < vals[best]:
+			// Expansion.
+			fe := eval(2)
+			if fe < fr {
+				copyPoint(simplex[worst], centroid, 2)
+				vals[worst] = fe
+			} else {
+				copyPoint(simplex[worst], centroid, 1)
+				vals[worst] = fr
+			}
+		case fr < vals[second]:
+			copyPoint(simplex[worst], centroid, 1)
+			vals[worst] = fr
+		default:
+			// Contraction.
+			fc := eval(-0.5)
+			if fc < vals[worst] {
+				copyPoint(simplex[worst], centroid, -0.5)
+				vals[worst] = fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 0; i <= n; i++ {
+					if i == best {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						simplex[i][j] = simplex[best][j] + 0.5*(simplex[i][j]-simplex[best][j])
+					}
+					vals[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+
+	best := 0
+	for i := 1; i <= n; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return append([]float64(nil), simplex[best]...), vals[best], nil
+}
+
+// copyPoint writes centroid + coef·(centroid − worstBefore) into dst, where
+// dst still holds worstBefore on entry.
+func copyPoint(dst, centroid []float64, coef float64) {
+	for j := range dst {
+		dst[j] = centroid[j] + coef*(centroid[j]-dst[j])
+	}
+}

@@ -1,0 +1,158 @@
+package sigmoid
+
+import (
+	"errors"
+	"math"
+)
+
+// Model is the paper's sigmoid y = a/(1+exp(-k(log x − b))) + c. The
+// Fig. 2(2) example instance uses a = -1, b = 0.48, c = 1, k = 10 on
+// axis-normalized data.
+type Model struct {
+	A, B, C, K float64
+}
+
+// PaperExampleModel returns the instance quoted in Section V, which the
+// paper reports agreeing well with the α = 0.0005 and 0.001 curves.
+func PaperExampleModel() Model {
+	return Model{A: -1, B: 0.48, C: 1, K: 10}
+}
+
+// Eval evaluates the model at x > 0.
+func (m Model) Eval(x float64) float64 {
+	return m.A/(1+math.Exp(-m.K*(math.Log(x)-m.B))) + m.C
+}
+
+// SSE returns the sum of squared residuals of the model on the data.
+func (m Model) SSE(xs, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		d := m.Eval(xs[i]) - ys[i]
+		s += d * d
+	}
+	return s
+}
+
+// RMSE returns the root-mean-square error of the model on the data.
+func (m Model) RMSE(xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return math.Sqrt(m.SSE(xs, ys) / float64(len(xs)))
+}
+
+// Fit least-squares-fits the model to (xs, ys) with xs > 0, starting the
+// simplex from guess. It returns the fitted model and its SSE.
+func Fit(xs, ys []float64, guess Model) (Model, float64, error) {
+	if len(xs) != len(ys) {
+		return Model{}, 0, errors.New("sigmoid: xs and ys lengths differ")
+	}
+	if len(xs) < 4 {
+		return Model{}, 0, errors.New("sigmoid: need at least 4 points for 4 parameters")
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return Model{}, 0, errors.New("sigmoid: x values must be positive (model is in log x)")
+		}
+	}
+	loss := func(p []float64) float64 {
+		return Model{A: p[0], B: p[1], C: p[2], K: p[3]}.SSE(xs, ys)
+	}
+	p0 := []float64{guess.A, guess.B, guess.C, guess.K}
+	best, sse, err := NelderMead(loss, p0, NelderMeadOptions{MaxIter: 4000})
+	if err != nil {
+		return Model{}, 0, err
+	}
+	// One restart from the result often escapes a mediocre local basin.
+	best2, sse2, err := NelderMead(loss, best, NelderMeadOptions{MaxIter: 4000, Step: 0.02})
+	if err == nil && sse2 < sse {
+		best, sse = best2, sse2
+	}
+	return Model{A: best[0], B: best[1], C: best[2], K: best[3]}, sse, nil
+}
+
+// GuessFromData produces a data-driven starting point: c near the maximum,
+// a spanning down to the minimum, b at the log-x midpoint, and a moderate
+// slope. It works for the decreasing curves of Fig. 2(2) as well as
+// increasing sigmoids.
+func GuessFromData(xs, ys []float64) Model {
+	if len(xs) == 0 {
+		return PaperExampleModel()
+	}
+	minY, maxY := ys[0], ys[0]
+	minLX, maxLX := math.Log(xs[0]), math.Log(xs[0])
+	first, last := ys[0], ys[len(ys)-1]
+	for i := range xs {
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+		lx := math.Log(xs[i])
+		if lx < minLX {
+			minLX = lx
+		}
+		if lx > maxLX {
+			maxLX = lx
+		}
+	}
+	span := maxY - minY
+	if span == 0 {
+		span = 1
+	}
+	m := Model{B: (minLX + maxLX) / 2, K: 10 / math.Max(1e-9, maxLX-minLX)}
+	if first > last { // decreasing curve: a < 0, c at the top
+		m.A, m.C = -span, maxY
+	} else {
+		m.A, m.C = span, minY
+	}
+	return m
+}
+
+// Normalize rescales a series to [0, 1] on both axes as the paper does for
+// Fig. 2(2): xs are positive level identifiers rescaled so that log x spans
+// [0, 1] after exponentiation (i.e. the returned xs are exp of the
+// normalized log), and ys are min-max normalized. The returned slices are
+// fresh.
+func Normalize(xs, ys []float64) (nx, ny []float64) {
+	nx = make([]float64, len(xs))
+	ny = make([]float64, len(ys))
+	if len(xs) == 0 {
+		return nx, ny
+	}
+	minLX, maxLX := math.Log(xs[0]), math.Log(xs[0])
+	for _, x := range xs {
+		lx := math.Log(x)
+		if lx < minLX {
+			minLX = lx
+		}
+		if lx > maxLX {
+			maxLX = lx
+		}
+	}
+	spanLX := maxLX - minLX
+	if spanLX == 0 {
+		spanLX = 1
+	}
+	for i, x := range xs {
+		nx[i] = math.Exp((math.Log(x) - minLX) / spanLX)
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	spanY := maxY - minY
+	if spanY == 0 {
+		spanY = 1
+	}
+	for i, y := range ys {
+		ny[i] = (y - minY) / spanY
+	}
+	return nx, ny
+}

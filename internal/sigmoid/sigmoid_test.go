@@ -1,0 +1,152 @@
+package sigmoid
+
+import (
+	"math"
+	"testing"
+
+	"linkclust/internal/rng"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// min (x-3)^2 + (y+1)^2.
+	f := func(p []float64) float64 {
+		return (p[0]-3)*(p[0]-3) + (p[1]+1)*(p[1]+1)
+	}
+	x, v, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+1) > 1e-4 {
+		t.Fatalf("minimum at %v, want (3,-1)", x)
+	}
+	if v > 1e-8 {
+		t.Fatalf("value %v not near zero", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(p []float64) float64 {
+		a := 1 - p[0]
+		b := p[1] - p[0]*p[0]
+		return a*a + 100*b*b
+	}
+	x, _, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock minimum at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadEmptyPoint(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("empty starting point accepted")
+	}
+}
+
+func TestModelEval(t *testing.T) {
+	m := PaperExampleModel() // a=-1, b=0.48, c=1, k=10
+	// At log x = b the sigmoid term is a/2: y = 1 - 0.5.
+	x := math.Exp(0.48)
+	if y := m.Eval(x); math.Abs(y-0.5) > 1e-12 {
+		t.Fatalf("Eval at midpoint = %v, want 0.5", y)
+	}
+	// Far left: term -> 0, y -> c = 1. Far right: y -> c + a = 0.
+	if y := m.Eval(1e-6); math.Abs(y-1) > 1e-3 {
+		t.Fatalf("left asymptote %v, want 1", y)
+	}
+	if y := m.Eval(1e6); math.Abs(y) > 1e-3 {
+		t.Fatalf("right asymptote %v, want 0", y)
+	}
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	truth := Model{A: -1, B: 0.5, C: 1, K: 8}
+	src := rng.New(1)
+	var xs, ys []float64
+	for i := 1; i <= 60; i++ {
+		x := float64(i) / 20 // x in (0, 3]
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x)+0.002*src.NormFloat64())
+	}
+	m, sse, err := Fit(xs, ys, GuessFromData(xs, ys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse/float64(len(xs)) > 1e-4 {
+		t.Fatalf("fit SSE %v too large", sse)
+	}
+	// Predictions must track the truth; parameters may trade off.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 3} {
+		if d := math.Abs(m.Eval(x) - truth.Eval(x)); d > 0.02 {
+			t.Fatalf("prediction at %v off by %v", x, d)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, _, err := Fit([]float64{1, 2}, []float64{1}, Model{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Fit([]float64{1, 2, 3}, []float64{1, 2, 3}, Model{}); err == nil {
+		t.Fatal("too few points accepted")
+	}
+	if _, _, err := Fit([]float64{1, 2, -3, 4}, []float64{1, 2, 3, 4}, Model{}); err == nil {
+		t.Fatal("non-positive x accepted")
+	}
+}
+
+func TestGuessFromDataDirection(t *testing.T) {
+	xs := []float64{0.1, 0.5, 1, 2}
+	dec := GuessFromData(xs, []float64{1, 0.9, 0.3, 0})
+	if dec.A >= 0 {
+		t.Fatalf("decreasing data should give a < 0, got %v", dec.A)
+	}
+	inc := GuessFromData(xs, []float64{0, 0.3, 0.9, 1})
+	if inc.A <= 0 {
+		t.Fatalf("increasing data should give a > 0, got %v", inc.A)
+	}
+	if m := GuessFromData(nil, nil); m != PaperExampleModel() {
+		t.Fatal("empty data should fall back to the paper model")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 10, 100}
+	ys := []float64{50, 30, 10}
+	nx, ny := Normalize(xs, ys)
+	// log-normalized x: exp of 0, 0.5, 1.
+	want := []float64{1, math.Exp(0.5), math.E}
+	for i := range nx {
+		if math.Abs(nx[i]-want[i]) > 1e-12 {
+			t.Fatalf("nx = %v, want %v", nx, want)
+		}
+	}
+	if ny[0] != 1 || ny[2] != 0 || math.Abs(ny[1]-0.5) > 1e-12 {
+		t.Fatalf("ny = %v", ny)
+	}
+	// Degenerate inputs must not divide by zero.
+	nx, ny = Normalize([]float64{5, 5}, []float64{2, 2})
+	for i := range nx {
+		if math.IsNaN(nx[i]) || math.IsNaN(ny[i]) {
+			t.Fatal("NaN from constant series")
+		}
+	}
+	nx, ny = Normalize(nil, nil)
+	if len(nx) != 0 || len(ny) != 0 {
+		t.Fatal("empty normalize not empty")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	m := Model{A: 0, B: 0, C: 2, K: 1} // constant y = 2
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 2, 5}
+	if got := m.RMSE(xs, ys); math.Abs(got-math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("RMSE = %v, want sqrt(3)", got)
+	}
+	if m.RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE not 0")
+	}
+}

@@ -1,0 +1,32 @@
+package stem
+
+import "testing"
+
+// FuzzPorter asserts the stemmer's total-function contract on arbitrary
+// lowercase-letter words: never panic, never emit non-letters, never grow
+// the word by more than one byte, and pass through words shorter than three
+// letters verbatim.
+func FuzzPorter(f *testing.F) {
+	for _, seed := range []string{"", "a", "running", "caresses", "yyy", "sses", "ied", "bled", "eee", "relational"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		w := make([]byte, 0, len(raw))
+		for i := 0; i < len(raw); i++ {
+			w = append(w, 'a'+raw[i]%26)
+		}
+		in := string(w)
+		out := Porter(in)
+		if len(out) > len(in)+1 {
+			t.Fatalf("Porter(%q) = %q grew too much", in, out)
+		}
+		if len(in) <= 2 && out != in {
+			t.Fatalf("short word changed: %q -> %q", in, out)
+		}
+		for i := 0; i < len(out); i++ {
+			if out[i] < 'a' || out[i] > 'z' {
+				t.Fatalf("Porter(%q) = %q contains non-letter", in, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package stem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Golden pairs from Porter's published examples and the reference
+// implementation's vocabulary.
+var goldenStems = []struct{ in, want string }{
+	// Step 1a.
+	{"caresses", "caress"},
+	{"ponies", "poni"},
+	{"ties", "ti"},
+	{"caress", "caress"},
+	{"cats", "cat"},
+	// Step 1b.
+	{"feed", "feed"},
+	{"agreed", "agre"},
+	{"plastered", "plaster"},
+	{"bled", "bled"},
+	{"motoring", "motor"},
+	{"sing", "sing"},
+	{"conflated", "conflat"},
+	{"troubled", "troubl"},
+	{"sized", "size"},
+	{"hopping", "hop"},
+	{"tanned", "tan"},
+	{"falling", "fall"},
+	{"hissing", "hiss"},
+	{"fizzed", "fizz"},
+	{"failing", "fail"},
+	{"filing", "file"},
+	// Step 1c.
+	{"happy", "happi"},
+	{"sky", "sky"},
+	// Step 2.
+	{"relational", "relat"},
+	{"conditional", "condit"},
+	{"rational", "ration"},
+	{"valenci", "valenc"},
+	{"hesitanci", "hesit"},
+	{"digitizer", "digit"},
+	{"conformabli", "conform"},
+	{"radicalli", "radic"},
+	{"differentli", "differ"},
+	{"vileli", "vile"},
+	{"analogousli", "analog"},
+	{"vietnamization", "vietnam"},
+	{"predication", "predic"},
+	{"operator", "oper"},
+	{"feudalism", "feudal"},
+	{"decisiveness", "decis"},
+	{"hopefulness", "hope"},
+	{"callousness", "callous"},
+	{"formaliti", "formal"},
+	{"sensitiviti", "sensit"},
+	{"sensibiliti", "sensibl"},
+	// Step 3.
+	{"triplicate", "triplic"},
+	{"formative", "form"},
+	{"formalize", "formal"},
+	{"electriciti", "electr"},
+	{"electrical", "electr"},
+	{"hopeful", "hope"},
+	{"goodness", "good"},
+	// Step 4.
+	{"revival", "reviv"},
+	{"allowance", "allow"},
+	{"inference", "infer"},
+	{"airliner", "airlin"},
+	{"gyroscopic", "gyroscop"},
+	{"adjustable", "adjust"},
+	{"defensible", "defens"},
+	{"irritant", "irrit"},
+	{"replacement", "replac"},
+	{"adjustment", "adjust"},
+	{"dependent", "depend"},
+	{"adoption", "adopt"},
+	{"homologou", "homolog"},
+	{"communism", "commun"},
+	{"activate", "activ"},
+	{"angulariti", "angular"},
+	{"homologous", "homolog"},
+	{"effective", "effect"},
+	{"bowdlerize", "bowdler"},
+	// Step 5.
+	{"probate", "probat"},
+	{"rate", "rate"},
+	{"cease", "ceas"},
+	{"controll", "control"},
+	{"roll", "roll"},
+	// Assorted realistic words.
+	{"running", "run"},
+	{"runs", "run"},
+	{"clustering", "cluster"},
+	{"clusters", "cluster"},
+	{"computation", "comput"},
+	{"computational", "comput"},
+	{"networks", "network"},
+	{"communities", "commun"},
+	{"twitter", "twitter"},
+	{"tweets", "tweet"},
+	// Short words pass through.
+	{"a", "a"},
+	{"as", "as"},
+	{"is", "is"},
+	{"", ""},
+}
+
+func TestPorterGolden(t *testing.T) {
+	for _, tc := range goldenStems {
+		if got := Porter(tc.in); got != tc.want {
+			t.Errorf("Porter(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPorterShortWordsUnchanged(t *testing.T) {
+	// Porter is deliberately not idempotent (e.g. "agreed" -> "agre" ->
+	// "agr"), so we do not assert stability; but words of length <= 2 are
+	// always returned verbatim.
+	for _, w := range []string{"", "a", "io", "by", "zz"} {
+		if got := Porter(w); got != w {
+			t.Errorf("Porter(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestPorterNeverGrowsWord(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Constrain to lowercase letters to match the contract.
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		in := string(w)
+		out := Porter(in)
+		// Porter can rewrite suffixes (e.g. "bl" -> "ble") so a one-byte
+		// growth of intermediate stems is possible, but the final result
+		// never exceeds the input length by more than one byte.
+		return len(out) <= len(in)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPorterOnlyLowercaseOutput(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		out := Porter(string(w))
+		for i := 0; i < len(out); i++ {
+			if out[i] < 'a' || out[i] > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPorterDoesNotPanic(t *testing.T) {
+	// Exercise odd inputs: digits, punctuation, mixed content.
+	for _, w := range []string{"123", "abc123", "don't", "---", "yyy", "eee", "sss", "ing", "ed", "s"} {
+		_ = Porter(w) // must not panic
+	}
+}
+
+func BenchmarkPorter(b *testing.B) {
+	words := []string{"relational", "clustering", "computational", "networks", "hopefulness", "tweets"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Porter(words[i%len(words)])
+	}
+}

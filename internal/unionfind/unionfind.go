@@ -1,0 +1,150 @@
+// Package unionfind provides disjoint-set structures used across the
+// repository: a classic union-by-rank/path-compression implementation and a
+// union-by-minimum variant whose cluster representatives are the minimum
+// member — the labeling convention of the paper's chain array C (Theorem 1),
+// which lets partitions from different algorithms be compared for equality
+// rather than merely isomorphism.
+//
+// The chain array (core.Chain) and union-find solve the same connectivity
+// problem with different operational profiles: the chain rewrites whole
+// chains to the minimum on every merge (paying O(√K2·|E|) total, Theorem 2)
+// but supports the replica-merge scheme of Section VI-B and O(1) root reads
+// after compression; union-find defers compression to queries. The ablation
+// benchmark in bench_test.go quantifies the difference on real merge
+// streams.
+package unionfind
+
+// Min is a disjoint-set forest whose representative is always the minimum
+// element of its set. The zero value is unusable; call NewMin.
+type Min struct {
+	parent []int32
+}
+
+// NewMin returns a Min over n singleton sets.
+func NewMin(n int) *Min {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &Min{parent: p}
+}
+
+// Len returns the number of elements.
+func (u *Min) Len() int { return len(u.parent) }
+
+// Find returns the minimum member of i's set, with path halving.
+func (u *Min) Find(i int32) int32 {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+// Union joins the sets of a and b and reports whether they were distinct.
+func (u *Min) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if ra < rb {
+		u.parent[rb] = ra
+	} else {
+		u.parent[ra] = rb
+	}
+	return true
+}
+
+// Labels returns the representative of every element.
+func (u *Min) Labels() []int32 {
+	out := make([]int32, len(u.parent))
+	for i := range u.parent {
+		out[i] = u.Find(int32(i))
+	}
+	return out
+}
+
+// NumSets returns the number of disjoint sets.
+func (u *Min) NumSets() int {
+	n := 0
+	for i, p := range u.parent {
+		if int32(i) == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranked is the textbook union-by-rank/path-compression forest. Its
+// representatives are arbitrary (rank-determined), so use Min when labels
+// must be canonical; Ranked is the faster choice when only connectivity
+// matters, and is the comparator for the chain-structure ablation.
+type Ranked struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewRanked returns a Ranked forest over n singleton sets.
+func NewRanked(n int) *Ranked {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &Ranked{parent: p, rank: make([]int8, n)}
+}
+
+// Len returns the number of elements.
+func (u *Ranked) Len() int { return len(u.parent) }
+
+// Find returns the representative of i's set, with path halving.
+func (u *Ranked) Find(i int32) int32 {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+// Union joins the sets of a and b and reports whether they were distinct.
+func (u *Ranked) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	switch {
+	case u.rank[ra] < u.rank[rb]:
+		u.parent[ra] = rb
+	case u.rank[ra] > u.rank[rb]:
+		u.parent[rb] = ra
+	default:
+		u.parent[rb] = ra
+		u.rank[ra]++
+	}
+	return true
+}
+
+// NumSets returns the number of disjoint sets.
+func (u *Ranked) NumSets() int {
+	n := 0
+	for i, p := range u.parent {
+		if int32(i) == p {
+			n++
+		}
+	}
+	return n
+}
+
+// CanonicalLabels returns min-member labels for every element, making
+// Ranked partitions comparable with Min and chain partitions.
+func (u *Ranked) CanonicalLabels() []int32 {
+	minOf := make(map[int32]int32)
+	n := len(u.parent)
+	for i := n - 1; i >= 0; i-- {
+		minOf[u.Find(int32(i))] = int32(i) // descending scan leaves the minimum
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = minOf[u.Find(int32(i))]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"linkclust/internal/rng"
+)
+
+func TestMinBasic(t *testing.T) {
+	u := NewMin(5)
+	if u.Len() != 5 || u.NumSets() != 5 {
+		t.Fatalf("fresh: len=%d sets=%d", u.Len(), u.NumSets())
+	}
+	if !u.Union(3, 4) {
+		t.Fatal("first union reported no-op")
+	}
+	if u.Union(4, 3) {
+		t.Fatal("repeat union reported change")
+	}
+	if u.Find(4) != 3 {
+		t.Fatalf("Find(4) = %d, want min 3", u.Find(4))
+	}
+	u.Union(0, 4)
+	if u.Find(3) != 0 || u.Find(4) != 0 {
+		t.Fatal("transitive union broken")
+	}
+	if u.NumSets() != 3 {
+		t.Fatalf("sets = %d, want 3", u.NumSets())
+	}
+}
+
+func TestMinLabels(t *testing.T) {
+	u := NewMin(4)
+	u.Union(1, 3)
+	labels := u.Labels()
+	want := []int32{0, 1, 2, 1}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestRankedBasic(t *testing.T) {
+	u := NewRanked(6)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(1, 2)
+	if u.Find(0) != u.Find(3) {
+		t.Fatal("connectivity lost")
+	}
+	if u.Find(4) == u.Find(0) {
+		t.Fatal("spurious connectivity")
+	}
+	if u.NumSets() != 3 {
+		t.Fatalf("sets = %d, want 3", u.NumSets())
+	}
+	if u.Len() != 6 {
+		t.Fatalf("len = %d", u.Len())
+	}
+}
+
+func TestRankedCanonicalLabels(t *testing.T) {
+	u := NewRanked(5)
+	u.Union(4, 2)
+	u.Union(2, 1)
+	labels := u.CanonicalLabels()
+	want := []int32{0, 1, 1, 3, 1}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("CanonicalLabels = %v, want %v", labels, want)
+		}
+	}
+}
+
+// TestMinRankedAgree: both structures realize the same partition for any
+// merge sequence, compared through canonical labels.
+func TestMinRankedAgree(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		src := rng.New(seed)
+		min := NewMin(n)
+		rk := NewRanked(n)
+		for k := 0; k < int(mRaw); k++ {
+			a, b := int32(src.Intn(n)), int32(src.Intn(n))
+			ca := min.Union(a, b)
+			cb := rk.Union(a, b)
+			if ca != cb {
+				return false
+			}
+		}
+		if min.NumSets() != rk.NumSets() {
+			return false
+		}
+		ml, rl := min.Labels(), rk.CanonicalLabels()
+		for i := range ml {
+			if ml[i] != rl[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinIdempotentFind: Find never changes the partition.
+func TestMinIdempotentFind(t *testing.T) {
+	u := NewMin(10)
+	u.Union(2, 7)
+	u.Union(7, 9)
+	before := u.Labels()
+	for i := 0; i < 10; i++ {
+		u.Find(int32(i))
+	}
+	after := u.Labels()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Find mutated the partition")
+		}
+	}
+}
+
+func BenchmarkMinUnionFind(b *testing.B) {
+	src := rng.New(1)
+	n := 10000
+	type op struct{ a, b int32 }
+	ops := make([]op, 20000)
+	for i := range ops {
+		ops[i] = op{int32(src.Intn(n)), int32(src.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewMin(n)
+		for _, o := range ops {
+			u.Union(o.a, o.b)
+		}
+	}
+}
+
+func BenchmarkRankedUnionFind(b *testing.B) {
+	src := rng.New(1)
+	n := 10000
+	type op struct{ a, b int32 }
+	ops := make([]op, 20000)
+	for i := range ops {
+		ops[i] = op{int32(src.Intn(n)), int32(src.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewRanked(n)
+		for _, o := range ops {
+			u.Union(o.a, o.b)
+		}
+	}
+}
