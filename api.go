@@ -45,6 +45,7 @@ import (
 	"linkclust/internal/dendro"
 	"linkclust/internal/graph"
 	"linkclust/internal/metrics"
+	"linkclust/internal/obs"
 	"linkclust/internal/onmi"
 	"linkclust/internal/planted"
 )
@@ -124,12 +125,43 @@ func WriteDOT(w io.Writer, g *Graph, edgeColor func(edge int32) int32) error {
 	return graph.WriteDOT(w, g, edgeColor)
 }
 
+// Observability. Every pipeline entry point accepts an optional *Recorder
+// (nil disables instrumentation at no measurable cost); a populated
+// Recorder yields a RunReport with per-phase wall times, named counters
+// (pairs processed, chain rewrites, replica merges), and memory deltas.
+type (
+	// Recorder collects phase timers and counters for one pipeline run.
+	// All methods are safe on a nil receiver, which disables recording.
+	Recorder = obs.Recorder
+	// RunReport is the JSON-serializable summary of an instrumented run.
+	RunReport = obs.RunReport
+	// PhaseReport is one aggregated phase of a RunReport.
+	PhaseReport = obs.PhaseReport
+)
+
+// NewRecorder returns a Recorder with the run clock started.
+func NewRecorder() *Recorder { return obs.New() }
+
+// ClusterOptions configures an instrumented pipeline run.
+type ClusterOptions struct {
+	// Workers sets the worker count for the initialization phase (and the
+	// coarse sweeping phase, where applicable). Like every parallel entry
+	// point, the value is normalized: below 1 runs serially, above
+	// max(runtime.NumCPU(), 8) is clamped to that cap.
+	Workers int
+	// Recorder, when non-nil, collects phase timers and counters for the
+	// run; call Recorder.Report to obtain the RunReport.
+	Recorder *Recorder
+}
+
 // Similarity runs the initialization phase (Algorithm 1) serially,
 // producing the similarity-annotated pair list.
 func Similarity(g *Graph) *PairList { return core.Similarity(g) }
 
 // SimilarityParallel runs the initialization phase with the multi-threaded
-// scheme of Section VI-A; workers < 2 falls back to the serial path.
+// scheme of Section VI-A. The workers argument is normalized: values below
+// 2 (after clamping) fall back to the serial path, values above
+// max(runtime.NumCPU(), 8) are clamped to that cap.
 func SimilarityParallel(g *Graph, workers int) *PairList {
 	return core.SimilarityParallel(g, workers)
 }
@@ -153,8 +185,30 @@ func Cluster(g *Graph) (*Result, error) { return core.Cluster(g) }
 // ClusterParallel runs the parallel initialization phase followed by the
 // serial fine-grained sweep. (Per the paper, only the coarse-grained sweep
 // parallelizes; use CoarseCluster with Workers for a fully parallel run.)
+// workers is normalized exactly as in SimilarityParallel.
 func ClusterParallel(g *Graph, workers int) (*Result, error) {
 	return core.Sweep(g, core.SimilarityParallel(g, workers))
+}
+
+// ClusterInstrumented runs the fine-grained pipeline (parallel
+// initialization when opts.Workers > 1, then the serial sweep) with
+// optional instrumentation: phase wall times and the pairs-processed /
+// chain-rewrite / merge counters land in opts.Recorder.
+func ClusterInstrumented(g *Graph, opts ClusterOptions) (*Result, error) {
+	pl := core.SimilarityParallelRecorded(g, opts.Workers, opts.Recorder)
+	return core.SweepRecorded(g, pl, opts.Recorder)
+}
+
+// CoarseClusterInstrumented is CoarseCluster with optional instrumentation:
+// initialization and coarse-sweep phases, epoch counters, and the replica
+// fan-out cost of parallel chunks land in opts.Recorder. opts.Workers, when
+// non-zero, overrides params.Workers for both phases.
+func CoarseClusterInstrumented(g *Graph, params CoarseParams, opts ClusterOptions) (*CoarseResult, error) {
+	if opts.Workers != 0 {
+		params.Workers = opts.Workers
+	}
+	pl := core.SimilarityParallelRecorded(g, params.Workers, opts.Recorder)
+	return coarse.SweepRecorded(g, pl, params, opts.Recorder)
 }
 
 // DefaultCoarseParams returns the paper's experimental parameters
@@ -163,6 +217,7 @@ func DefaultCoarseParams() CoarseParams { return coarse.DefaultParams() }
 
 // CoarseCluster runs Algorithm 1 (parallel when params.Workers > 1)
 // followed by the coarse-grained sweeping algorithm of Section V.
+// params.Workers is normalized exactly as in SimilarityParallel.
 func CoarseCluster(g *Graph, params CoarseParams) (*CoarseResult, error) {
 	return coarse.Sweep(g, core.SimilarityParallel(g, params.Workers), params)
 }

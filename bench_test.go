@@ -28,6 +28,7 @@ import (
 	"linkclust/internal/core"
 	"linkclust/internal/corpus"
 	"linkclust/internal/graph"
+	"linkclust/internal/obs"
 	"linkclust/internal/unionfind"
 )
 
@@ -353,6 +354,44 @@ func BenchmarkAblationCompactLayout(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.Compact(pl)
+		}
+	})
+}
+
+// BenchmarkObsOverhead quantifies the cost of the observability layer on
+// the hot sweeping phase. "baseline" is the uninstrumented entry point,
+// "nil-recorder" the instrumented path with recording disabled (the default
+// for every caller that passes no recorder), and "recording" a live
+// Recorder. The nil-recorder variant must stay within 2% of baseline:
+// instrumentation is phase-granular — a handful of nil checks and closure
+// calls per run, never per merge operation.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := benchGraph(b, 0.001)
+	pl := core.Similarity(g)
+	pl.Sort()
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Sweep(g, copyPairList(pl)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nil-recorder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepRecorded(g, copyPairList(pl), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		b.ReportAllocs()
+		rec := obs.New()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepRecorded(g, copyPairList(pl), rec); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

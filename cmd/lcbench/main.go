@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"linkclust/internal/bench"
+	"linkclust/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run(args []string, out io.Writer) error {
 		repeats    = fs.Int("repeats", 0, "timed repetitions per measurement (0 = preset default)")
 		seed       = fs.Uint64("seed", 0, "corpus seed override (0 = preset default)")
 		list       = fs.Bool("list", false, "list available experiments and exit")
+		report     = fs.String("report", "", "write a JSON run report with per-experiment phase timings to this file (e.g. BENCH_small.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +56,14 @@ func run(args []string, out io.Writer) error {
 	if *seed != 0 {
 		cfg.Corpus.Seed = *seed
 	}
+	var rec *obs.Recorder
+	if *report != "" {
+		rec = obs.New()
+		rec.SetMeta("command", "lcbench")
+		rec.SetMeta("size", *size)
+		rec.SetMeta("experiment", *experiment)
+		cfg.Obs = rec
+	}
 	exp, err := bench.Lookup(*experiment)
 	if err != nil {
 		return err
@@ -62,9 +72,31 @@ func run(args []string, out io.Writer) error {
 		exp.Name, *size, cfg.Repeats, runtime.NumCPU(),
 		cfg.Corpus.Vocab, cfg.Corpus.Docs, cfg.Corpus.Seed)
 	start := time.Now()
-	if err := exp.Run(out, cfg); err != nil {
-		return err
+	end := rec.Phase(exp.Name)
+	runErr := exp.Run(out, cfg)
+	end()
+	if runErr != nil {
+		return runErr
 	}
 	fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	if rec != nil {
+		rep := rec.Report()
+		fmt.Fprintln(out)
+		if err := rep.Fprint(out); err != nil {
+			return err
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "run report written to %s\n", *report)
+	}
 	return nil
 }

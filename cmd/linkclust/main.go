@@ -11,6 +11,7 @@
 //	linkclust simil  -in graph.txt -out pairs.bin    # cache phase I
 //	linkclust cluster -in graph.txt -pairs pairs.bin -algo sweep \
 //	    -communities 5 -save-merges merges.bin -newick d.nwk -dot g.dot
+//	linkclust cluster -in graph.txt -report run.json -pprof run  # observability
 //	linkclust analyze -in graph.txt -merges merges.bin
 package main
 
@@ -20,10 +21,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"linkclust"
 	"linkclust/internal/baseline"
+	"linkclust/internal/coarse"
 	"linkclust/internal/core"
 	"linkclust/internal/corpus"
 	"linkclust/internal/dendro"
@@ -135,6 +140,86 @@ func cmdAnalyze(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// writeReport finalizes the recorder and writes its RunReport JSON; a nil
+// recorder (observability off) writes nothing.
+func writeReport(rec *linkclust.Recorder, path string, stdout io.Writer) error {
+	if rec == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "run report written to %s\n", path)
+	return nil
+}
+
+// profiler manages the optional -pprof CPU/heap profile pair. The zero
+// value (profiling off) is valid; every method is nil-safe.
+type profiler struct {
+	prefix  string
+	cpu     *os.File
+	stopped bool
+}
+
+// startProfiler begins CPU profiling to <prefix>.cpu.pprof; an empty prefix
+// returns a nil profiler.
+func startProfiler(prefix string) (*profiler, error) {
+	if prefix == "" {
+		return nil, nil
+	}
+	f, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &profiler{prefix: prefix, cpu: f}, nil
+}
+
+// stop ends CPU profiling and closes the file; safe to call repeatedly (it
+// also backstops error paths via defer).
+func (p *profiler) stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	pprof.StopCPUProfile()
+	p.cpu.Close()
+}
+
+// finish stops CPU profiling and writes the heap profile of the finished
+// run to <prefix>.heap.pprof.
+func (p *profiler) finish(stdout io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	p.stop()
+	f, err := os.Create(p.prefix + ".heap.pprof")
+	if err != nil {
+		return err
+	}
+	runtime.GC() // profile retained structures, not garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "profiles written to %s.cpu.pprof and %s.heap.pprof\n", p.prefix, p.prefix)
+	return nil
+}
+
 // openInput returns stdin for path "-" or "" and the named file otherwise.
 func openInput(path string, stdin io.Reader) (io.Reader, func() error, error) {
 	if path == "" || path == "-" {
@@ -231,6 +316,7 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 		in      = fs.String("in", "-", "input graph (- for stdin)")
 		out     = fs.String("out", "", "output pair-list file (required)")
 		workers = fs.Int("workers", 1, "worker threads")
+		report  = fs.String("report", "", "write a JSON run report (phase timers, counters) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -238,16 +324,24 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *out == "" {
 		return fmt.Errorf("simil: -out is required")
 	}
+	var rec *linkclust.Recorder
+	if *report != "" {
+		rec = linkclust.NewRecorder()
+		rec.SetMeta("command", "simil")
+		rec.SetMeta("workers", strconv.Itoa(*workers))
+	}
 	r, closeIn, err := openInput(*in, stdin)
 	if err != nil {
 		return err
 	}
 	defer closeIn()
+	endRead := rec.Phase("read-graph")
 	g, err := linkclust.ReadGraph(r)
+	endRead()
 	if err != nil {
 		return err
 	}
-	pl := core.SimilarityParallel(g, *workers)
+	pl := core.SimilarityParallelRecorded(g, *workers, rec)
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -261,7 +355,7 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %d pairs (%d incident edge pairs) to %s\n",
 		len(pl.Pairs), pl.NumIncidentPairs(), *out)
-	return nil
+	return writeReport(rec, *report, stdout)
 }
 
 func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -280,16 +374,32 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		pairs   = fs.String("pairs", "", "read the similarity pair list from this file (skips phase I)")
 		saveTo  = fs.String("save-merges", "", "write the merge stream to this file in binary format")
 		dot     = fs.String("dot", "", "write a Graphviz DOT file with edges colored by best-cut community")
+		report  = fs.String("report", "", "write a JSON run report (phase timers, counters, memory deltas) to this file")
+		prof    = fs.String("pprof", "", "write CPU/heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var rec *linkclust.Recorder
+	if *report != "" {
+		rec = linkclust.NewRecorder()
+		rec.SetMeta("command", "cluster")
+		rec.SetMeta("algo", *algo)
+		rec.SetMeta("workers", strconv.Itoa(*workers))
+	}
+	prf, err := startProfiler(*prof)
+	if err != nil {
+		return err
+	}
+	defer prf.stop() // backstop for error paths; finish() below on success
 	r, closeIn, err := openInput(*in, stdin)
 	if err != nil {
 		return err
 	}
 	defer closeIn()
+	endRead := rec.Phase("read-graph")
 	g, err := linkclust.ReadGraph(r)
+	endRead()
 	if err != nil {
 		return err
 	}
@@ -301,13 +411,19 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		endLoad := rec.Phase("load-pairs")
 		pl, err = core.ReadPairList(pf)
+		endLoad()
 		pf.Close()
 		if err != nil {
 			return err
 		}
 	} else {
-		pl = linkclust.SimilarityParallel(g, *workers)
+		pl = core.SimilarityParallelRecorded(g, *workers, rec)
+	}
+	if rec != nil {
+		rec.SetMeta("vertices", strconv.Itoa(g.NumVertices()))
+		rec.SetMeta("edges", strconv.Itoa(g.NumEdges()))
 	}
 
 	var (
@@ -316,7 +432,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	)
 	switch *algo {
 	case "sweep":
-		res, err := linkclust.Sweep(g, pl)
+		res, err := core.SweepRecorded(g, pl, rec)
 		if err != nil {
 			return err
 		}
@@ -329,7 +445,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		d = linkclust.NewDendrogram(res)
 	case "coarse":
 		params := linkclust.CoarseParams{Gamma: *gamma, Phi: *phi, Delta0: *delta0, Eta0: *eta0, Workers: *workers}
-		res, err := linkclust.CoarseSweep(g, pl, params)
+		res, err := coarse.SweepRecorded(g, pl, params, rec)
 		if err != nil {
 			return err
 		}
@@ -343,8 +459,10 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		mergeStream = res.Merges
 		d = linkclust.NewCoarseDendrogram(res)
 	case "nbm":
+		endStd := rec.Phase("standard-nbm")
 		es := baseline.NewEdgeSim(g, pl)
 		res, err := baseline.NBM(es)
+		endStd()
 		if err != nil {
 			return err
 		}
@@ -354,13 +472,18 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "matrix bytes   %d\n", res.MatrixBytes)
 		mergeStream = res.Merges
 	case "slink":
+		endStd := rec.Phase("standard-slink")
 		es := baseline.NewEdgeSim(g, pl)
 		res := baseline.SLINK(es)
+		endStd()
 		fmt.Fprintf(stdout, "algorithm      SLINK\n")
 		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
 		labels := res.CutSim(1e-12)
 		fmt.Fprintf(stdout, "clusters at sim>0: %d\n", countLabels(labels))
-		return nil
+		if err := prf.finish(stdout); err != nil {
+			return err
+		}
+		return writeReport(rec, *report, stdout)
 	default:
 		return fmt.Errorf("unknown algorithm %q (want sweep, coarse, nbm or slink)", *algo)
 	}
@@ -438,7 +561,10 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 				i+1, len(c.Edges), len(c.Nodes), strings.Join(names, " "))
 		}
 	}
-	return nil
+	if err := prf.finish(stdout); err != nil {
+		return err
+	}
+	return writeReport(rec, *report, stdout)
 }
 
 func countLabels(labels []int32) int {

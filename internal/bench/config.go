@@ -11,6 +11,7 @@ import (
 
 	"linkclust/internal/coarse"
 	"linkclust/internal/corpus"
+	"linkclust/internal/obs"
 )
 
 // Config parameterizes a harness run.
@@ -44,6 +45,10 @@ type Config struct {
 	// algorithm is attempted, mirroring the paper's inability to finish
 	// it beyond α = 0.001.
 	MaxStandardEdges int
+	// Obs, when non-nil, collects per-experiment phase timers (workload
+	// construction, per-figure runs) for the harness's run report. Nil
+	// disables instrumentation.
+	Obs *obs.Recorder
 }
 
 // Size selects a preset workload scale.

@@ -41,7 +41,10 @@ func Lookup(name string) (Experiment, error) {
 			Description: "every experiment in order",
 			Run: func(w io.Writer, cfg Config) error {
 				for _, e := range Experiments() {
-					if err := e.Run(w, cfg); err != nil {
+					end := cfg.Obs.Phase(e.Name)
+					err := e.Run(w, cfg)
+					end()
+					if err != nil {
 						return fmt.Errorf("%s: %w", e.Name, err)
 					}
 				}

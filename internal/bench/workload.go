@@ -21,11 +21,15 @@ type Workload struct {
 // graph for every α in cfg. Fractions whose scaled value exceeds 1 are
 // clamped to the full vocabulary.
 func BuildWorkloads(cfg Config) ([]Workload, error) {
+	end := cfg.Obs.Phase("synthesize-corpus")
 	c := corpus.Synthesize(cfg.Corpus)
+	end()
 	return buildWorkloadsFrom(c, cfg)
 }
 
 func buildWorkloadsFrom(c *corpus.Corpus, cfg Config) ([]Workload, error) {
+	end := cfg.Obs.Phase("build-graphs")
+	defer end()
 	out := make([]Workload, 0, len(cfg.Alphas))
 	for _, alpha := range cfg.Alphas {
 		eff := alpha * cfg.AlphaScale

@@ -4,7 +4,15 @@ import (
 	"sync"
 
 	"linkclust/internal/core"
+	"linkclust/internal/obs"
 )
+
+// parallelMergeMinOps is the chunk size below which replica processing is
+// never attempted: each worker pays an O(|E|) clone of array C before doing
+// any work, so a chunk must carry enough merge operations to amortize the
+// fan-out. Chunks under the threshold (and degenerate worker counts) run
+// the plain serial MERGE loop instead.
+const parallelMergeMinOps = 64
 
 // parallelMerge processes one chunk's incident edge pairs with the
 // multi-threaded scheme of Section VI-B: each of the workers merges a
@@ -13,7 +21,24 @@ import (
 // core.MergeChains scheme until at most three remain, which are folded by a
 // single worker. The combined array replaces ch's contents and all replica
 // rewrites are added to ch's change counter.
-func parallelMerge(ch *core.Chain, ops [][2]int32, workers int) {
+//
+// The worker count is clamped to len(ops) — tiny chunks previously cloned
+// one full replica per configured worker even when most replicas received
+// no operations at all, paying workers × O(|E|) for near-empty partitions —
+// and chunks below parallelMergeMinOps fall back to serial merging, where
+// the clone cost cannot be amortized. Replica clone/fold costs are recorded
+// into rec when non-nil.
+func parallelMerge(ch *core.Chain, ops [][2]int32, workers int, rec *obs.Recorder) {
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers < 2 || len(ops) < parallelMergeMinOps {
+		for _, op := range ops {
+			ch.Merge(op[0], op[1])
+		}
+		return
+	}
+
 	replicas := make([]*core.Chain, workers)
 	var wg sync.WaitGroup
 	for t := 0; t < workers; t++ {
@@ -29,6 +54,7 @@ func parallelMerge(ch *core.Chain, ops [][2]int32, workers int) {
 	}
 	wg.Wait()
 
+	folds := int64(0)
 	for len(replicas) > 3 {
 		half := len(replicas) / 2
 		for i := 0; i < half; i++ {
@@ -40,6 +66,7 @@ func parallelMerge(ch *core.Chain, ops [][2]int32, workers int) {
 			}(i)
 		}
 		wg.Wait()
+		folds += int64(half)
 		next := make([]*core.Chain, 0, half+1)
 		for i := 0; i < half; i++ {
 			next = append(next, replicas[2*i])
@@ -53,7 +80,13 @@ func parallelMerge(ch *core.Chain, ops [][2]int32, workers int) {
 	for _, other := range replicas[1:] {
 		core.MergeChains(combined, other)
 		combined.AddChanges(other.Changes())
+		folds++
 	}
 	ch.Restore(combined.Snapshot())
 	ch.AddChanges(combined.Changes())
+
+	if rec != nil {
+		rec.Add(CtrReplicaClones, int64(workers))
+		rec.Add(CtrReplicaMerges, folds)
+	}
 }

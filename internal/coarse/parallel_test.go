@@ -1,0 +1,119 @@
+package coarse
+
+import (
+	"testing"
+
+	"linkclust/internal/core"
+	"linkclust/internal/obs"
+)
+
+// mergeOps builds a deterministic but irregular op stream over n edge ids.
+func mergeOps(n, count int) [][2]int32 {
+	ops := make([][2]int32, 0, count)
+	x := uint32(12345)
+	for i := 0; i < count; i++ {
+		x = x*1664525 + 1013904223 // LCG; deterministic across runs
+		a := int32(x % uint32(n))
+		x = x*1664525 + 1013904223
+		b := int32(x % uint32(n))
+		ops = append(ops, [2]int32{a, b})
+	}
+	return ops
+}
+
+func serialReference(n int, ops [][2]int32) []int32 {
+	ch := core.NewChain(n)
+	for _, op := range ops {
+		ch.Merge(op[0], op[1])
+	}
+	return ch.Assignments()
+}
+
+func assignmentsEqual(t *testing.T, got *core.Chain, want []int32, label string) {
+	t.Helper()
+	g := got.Assignments()
+	if len(g) != len(want) {
+		t.Fatalf("%s: %d assignments, want %d", label, len(g), len(want))
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			t.Fatalf("%s: edge %d in cluster %d, want %d", label, i, g[i], want[i])
+		}
+	}
+}
+
+// TestParallelMergeClampsWorkersToOps is the regression test for the
+// tiny-chunk clone blow-up: a chunk with fewer operations than configured
+// workers must not clone one replica per worker (it falls back to the
+// serial MERGE loop) and must still produce the serial partition.
+func TestParallelMergeClampsWorkersToOps(t *testing.T) {
+	const n = 50
+	ops := mergeOps(n, 5) // well below parallelMergeMinOps
+	want := serialReference(n, ops)
+
+	rec := obs.New()
+	ch := core.NewChain(n)
+	parallelMerge(ch, ops, 1<<20, rec)
+	assignmentsEqual(t, ch, want, "tiny chunk, huge workers")
+	if got := rec.Counter(CtrReplicaClones); got != 0 {
+		t.Fatalf("tiny chunk cloned %d replicas, want 0 (serial fallback)", got)
+	}
+}
+
+// TestParallelMergeMatchesSerial checks the replica path proper (chunk
+// above the threshold) against the serial reference, for several worker
+// counts including ones exceeding the op count partition granularity.
+func TestParallelMergeMatchesSerial(t *testing.T) {
+	const n = 120
+	ops := mergeOps(n, 4*parallelMergeMinOps)
+	want := serialReference(n, ops)
+
+	for _, workers := range []int{2, 3, 4, 7, 8, 16} {
+		rec := obs.New()
+		ch := core.NewChain(n)
+		parallelMerge(ch, ops, workers, rec)
+		assignmentsEqual(t, ch, want, "parallel merge")
+		if got := rec.Counter(CtrReplicaClones); got != int64(workers) {
+			t.Fatalf("workers=%d: %d replica clones recorded, want %d", workers, got, workers)
+		}
+		if rec.Counter(CtrReplicaMerges) != int64(workers-1) {
+			t.Fatalf("workers=%d: %d replica folds recorded, want %d",
+				workers, rec.Counter(CtrReplicaMerges), workers-1)
+		}
+	}
+}
+
+// TestParallelMergeEmptyOps must be a no-op for an empty chunk regardless
+// of the configured worker count.
+func TestParallelMergeEmptyOps(t *testing.T) {
+	const n = 10
+	ch := core.NewChain(n)
+	parallelMerge(ch, nil, 8, nil)
+	if got := ch.NumClusters(); got != n {
+		t.Fatalf("empty ops changed the chain: %d clusters, want %d", got, n)
+	}
+}
+
+// TestSweepNormalizesExtremeWorkerCounts runs the coarse sweep with
+// degenerate Workers values (negative, zero, absurdly large); all must be
+// normalized, finish, and agree with the serial result.
+func TestSweepNormalizesExtremeWorkerCounts(t *testing.T) {
+	g := testGraph(19)
+	pl := core.Similarity(g)
+	params := Params{Gamma: 2, Phi: 4, Delta0: 8, Eta0: 4, Workers: 1}
+	ref, err := Sweep(g, pl, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-3, 0, 1 << 20} {
+		params.Workers = workers
+		res, err := Sweep(g, pl, params)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.FinalClusters != ref.FinalClusters || res.Levels != ref.Levels {
+			t.Fatalf("workers=%d: %d clusters / %d levels, want %d / %d",
+				workers, res.FinalClusters, res.Levels, ref.FinalClusters, ref.Levels)
+		}
+	}
+}

@@ -6,6 +6,35 @@ import (
 
 	"linkclust/internal/core"
 	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
+)
+
+// Counter names this package records into an obs.Recorder.
+const (
+	// CtrLevels counts committed dendrogram levels.
+	CtrLevels = "coarse.levels"
+	// CtrEpochs counts all epochs (committed, rolled back, reused).
+	CtrEpochs = "coarse.epochs"
+	// CtrRollbacks counts aborted epochs.
+	CtrRollbacks = "coarse.rollbacks"
+	// CtrReuses counts levels committed from saved rollback states.
+	CtrReuses = "coarse.reuses"
+	// CtrOpsProcessed counts incident edge pairs processed toward the
+	// final state.
+	CtrOpsProcessed = "coarse.ops_processed"
+	// CtrOpsWasted counts incident edge pairs processed in rolled-back
+	// epochs.
+	CtrOpsWasted = "coarse.ops_wasted"
+	// CtrChainRewrites counts array-C entry rewrites, including replica
+	// work — the Fig. 2(1) quantity for the coarse-grained sweep.
+	CtrChainRewrites = "coarse.chain_rewrites"
+	// CtrReplicaClones counts array-C replicas cloned for parallel chunk
+	// processing (Section VI-B).
+	CtrReplicaClones = "coarse.replica_clones"
+	// CtrReplicaMerges counts pairwise replica combinations
+	// (core.MergeChains folds).
+	CtrReplicaMerges = "coarse.replica_merges"
 )
 
 // Params configures the coarse-grained sweep. The triple (γ, φ, δ0) defines
@@ -26,7 +55,12 @@ type Params struct {
 	// in (1, Gamma]. Zero selects the paper's choice, (1+γ)/2.
 	GammaTilde float64
 	// Workers > 1 processes each chunk with that many replicas of array C
-	// merged via the corrected scheme of Section VI-B.
+	// merged via the corrected scheme of Section VI-B. The value is
+	// normalized at Sweep entry like every parallel entry point: values
+	// below 1 run serially, values above max(runtime.NumCPU(), 8) are
+	// clamped to that cap, and each chunk additionally clamps its worker
+	// count to the chunk's operation count so near-empty partitions never
+	// pay per-replica clone cost.
 	Workers int
 }
 
@@ -162,10 +196,23 @@ type levelPoint struct {
 // Sweep runs the coarse-grained sweeping algorithm over the sorted pair
 // list. The pair list is sorted in place if needed.
 func Sweep(g *graph.Graph, pl *core.PairList, params Params) (*Result, error) {
+	return SweepRecorded(g, pl, params, nil)
+}
+
+// SweepRecorded is Sweep with optional instrumentation: sort/chunk phase
+// timers, the epoch and chain-rewrite counters, and the replica fan-out
+// cost of parallel runs are recorded into rec. A nil rec records nothing
+// and adds no measurable overhead.
+func SweepRecorded(g *graph.Graph, pl *core.PairList, params Params, rec *obs.Recorder) (*Result, error) {
+	params.Workers = par.Normalize(params.Workers)
 	if err := params.validate(); err != nil {
 		return nil, err
 	}
+	end := rec.Phase("coarse")
+	defer end()
+	endSort := rec.Phase("sort-worklist")
 	w, err := buildWorkList(g, pl)
+	endSort()
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +225,7 @@ func Sweep(g *graph.Graph, pl *core.PairList, params Params) (*Result, error) {
 		gTilde: gTilde,
 		w:      w,
 		chain:  core.NewChain(g.NumEdges()),
+		rec:    rec,
 		res: &Result{
 			Chain:    nil, // set at the end
 			TotalOps: w.totalOps(),
@@ -187,13 +235,40 @@ func Sweep(g *graph.Graph, pl *core.PairList, params Params) (*Result, error) {
 		beta:  g.NumEdges(),
 		mode:  ModeHead,
 	}
+	endRun := rec.Phase("chunks")
 	s.run()
+	endRun()
 	if s.err != nil {
 		return nil, s.err
 	}
 	s.res.Chain = s.chain
 	s.res.FinalClusters = s.chain.NumClusters()
+	s.recordEpochStats()
 	return s.res, nil
+}
+
+// recordEpochStats records the run's epoch and rewrite counters once the
+// sweep has finished.
+func (s *sweeper) recordEpochStats() {
+	if s.rec == nil {
+		return
+	}
+	var rollbacks, reuses int64
+	for _, ep := range s.res.Epochs {
+		switch ep.Kind {
+		case EpochRollback:
+			rollbacks++
+		case EpochReused:
+			reuses++
+		}
+	}
+	s.rec.Add(CtrLevels, int64(s.res.Levels))
+	s.rec.Add(CtrEpochs, int64(len(s.res.Epochs)))
+	s.rec.Add(CtrRollbacks, rollbacks)
+	s.rec.Add(CtrReuses, reuses)
+	s.rec.Add(CtrOpsProcessed, s.res.OpsProcessed)
+	s.rec.Add(CtrOpsWasted, s.res.OpsWasted)
+	s.rec.Add(CtrChainRewrites, s.chain.Changes())
 }
 
 type sweeper struct {
@@ -201,6 +276,7 @@ type sweeper struct {
 	gTilde float64
 	w      *workList
 	chain  *core.Chain
+	rec    *obs.Recorder
 	res    *Result
 
 	// Mutable sweep state.
@@ -233,7 +309,9 @@ func (s *sweeper) run() {
 		changesBefore := s.chain.Changes()
 		opsBefore := s.xi
 
+		endChunk := s.rec.Phase("chunk")
 		chunkSim, pairsInChunk := s.processChunk()
+		endChunk()
 		if s.err != nil {
 			return
 		}
@@ -376,14 +454,9 @@ func (s *sweeper) processChunk() (sim float64, pairs int) {
 		}
 	}
 	if parallel {
-		// Tiny chunks are not worth the replica setup.
-		if len(s.batch) < 4*s.params.Workers {
-			for _, op := range s.batch {
-				s.chain.Merge(op[0], op[1])
-			}
-		} else {
-			parallelMerge(s.chain, s.batch, s.params.Workers)
-		}
+		// parallelMerge clamps its worker count to the chunk size and
+		// falls back to serial merging below the small-chunk threshold.
+		parallelMerge(s.chain, s.batch, s.params.Workers, s.rec)
 	}
 	return sim, s.p - start
 }
@@ -573,6 +646,8 @@ func (s *sweeper) pruneRollbacks() {
 // are derived from the partition difference, so rolled-back work never
 // reaches the dendrogram and reused states emit exactly their net effect.
 func (s *sweeper) emitDiffMerges(oldSnap []int32, sim float64) {
+	end := s.rec.Phase("commit-merges")
+	defer end()
 	old := core.NewChain(len(oldSnap))
 	old.Restore(oldSnap)
 	groups := make(map[int32][]int32) // new root -> old roots merged into it

@@ -14,6 +14,24 @@ import (
 	"sort"
 
 	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+)
+
+// Counter names this package records into an obs.Recorder.
+const (
+	// CtrSimilarityPairs is |M|: the number of vertex pairs produced by
+	// Algorithm 1 (= K1 of the graph).
+	CtrSimilarityPairs = "similarity.pairs"
+	// CtrSimilarityIncidentPairs is the total number of incident edge
+	// pairs the list drives (= K2 of the graph).
+	CtrSimilarityIncidentPairs = "similarity.incident_pairs"
+	// CtrSweepPairsProcessed counts incident edge pairs fed to MERGE.
+	CtrSweepPairsProcessed = "sweep.pairs_processed"
+	// CtrSweepChainRewrites counts array-C entry rewrites — the quantity
+	// the paper plots in Fig. 2(1).
+	CtrSweepChainRewrites = "sweep.chain_rewrites"
+	// CtrSweepMerges counts dendrogram merge events.
+	CtrSweepMerges = "sweep.merges"
 )
 
 // Pair is one key/value of the paper's map M: a vertex pair sharing at
@@ -30,6 +48,10 @@ type Pair struct {
 
 // PairList is the materialized map M of Algorithm 1 plus the similarity
 // scores. After Sort it is the list L of Algorithm 2.
+//
+// Pairs is exported and mutable; code that reorders or rewrites it after a
+// Sort must call Invalidate, or the cached sort state goes stale and a later
+// Sort silently no-ops on unsorted data.
 type PairList struct {
 	Pairs  []Pair
 	sorted bool
@@ -66,6 +88,11 @@ func (pl *PairList) Sort() {
 
 // Sorted reports whether Sort has run.
 func (pl *PairList) Sorted() bool { return pl.sorted }
+
+// Invalidate clears the cached sort state. Call it after mutating Pairs in
+// place (reordering entries, rewriting similarities) so the next Sort
+// actually re-sorts instead of trusting the stale flag.
+func (pl *PairList) Invalidate() { pl.sorted = false }
 
 // link is one node of the per-pair common-neighbor linked list used during
 // accumulation; lists are materialized into a contiguous arena at finalize.
@@ -218,11 +245,38 @@ func (a *accumulator) materialize(h2 []float64) *PairList {
 // similarity-annotated pair list (map M). The result is deterministic: pairs
 // appear in first-encounter order (vertex-major) until Sort is called.
 func Similarity(g *graph.Graph) *PairList {
+	return SimilarityRecorded(g, nil)
+}
+
+// SimilarityRecorded is Similarity with optional instrumentation: per-pass
+// phase timers and the K1/K2 counters are recorded into rec. A nil rec
+// records nothing and adds no measurable overhead.
+func SimilarityRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
+	end := rec.Phase("similarity")
+	defer end()
 	n := g.NumVertices()
 	h1 := make([]float64, n)
 	h2 := make([]float64, n)
+	endPass := rec.Phase("pass1-norms")
 	vertexNorms(g, h1, h2, 0, n)
+	endPass()
 	acc := newAccumulator(g.NumEdges())
+	endPass = rec.Phase("pass2-common")
 	accumulateCommon(g, acc, 0, n)
-	return acc.finalize(g, h1, h2)
+	endPass()
+	endPass = rec.Phase("pass3-finalize")
+	pl := acc.finalize(g, h1, h2)
+	endPass()
+	recordPairListStats(rec, pl)
+	return pl
+}
+
+// recordPairListStats records the K1/K2 counters of a finished
+// initialization phase.
+func recordPairListStats(rec *obs.Recorder, pl *PairList) {
+	if rec == nil {
+		return
+	}
+	rec.Add(CtrSimilarityPairs, int64(len(pl.Pairs)))
+	rec.Add(CtrSimilarityIncidentPairs, pl.NumIncidentPairs())
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 
 	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
 )
 
 // SimilarityParallel runs Algorithm 1 with the multi-threaded scheme of
@@ -23,16 +25,31 @@ import (
 //
 // The resulting PairList contains exactly the same pairs, similarities and
 // common-neighbor sets as Similarity(g); after Sort the two are identical
-// element-wise. workers < 2 falls back to the serial implementation.
+// element-wise.
+//
+// The workers argument is normalized like every parallel entry point of the
+// pipeline: values below 2 (after clamping) run the serial implementation,
+// values above max(runtime.NumCPU(), 8) are clamped to that cap.
 func SimilarityParallel(g *graph.Graph, workers int) *PairList {
+	return SimilarityParallelRecorded(g, workers, nil)
+}
+
+// SimilarityParallelRecorded is SimilarityParallel with optional
+// instrumentation: per-pass phase timers and the K1/K2 counters are
+// recorded into rec. A nil rec records nothing.
+func SimilarityParallelRecorded(g *graph.Graph, workers int, rec *obs.Recorder) *PairList {
+	workers = par.Normalize(workers)
 	if workers < 2 {
-		return Similarity(g)
+		return SimilarityRecorded(g, rec)
 	}
+	end := rec.Phase("similarity")
+	defer end()
 	n := g.NumVertices()
 	h1 := make([]float64, n)
 	h2 := make([]float64, n)
 
 	// Pass 1: round-robin vertex partition.
+	endPass := rec.Phase("pass1-norms")
 	var wg sync.WaitGroup
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
@@ -44,8 +61,10 @@ func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 		}(t)
 	}
 	wg.Wait()
+	endPass()
 
 	// Pass 2, step 1: per-worker accumulators over round-robin vertices.
+	endPass = rec.Phase("pass2-common")
 	accs := make([]*accumulator, workers)
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
@@ -59,9 +78,11 @@ func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 		}(t)
 	}
 	wg.Wait()
+	endPass()
 
 	// Pass 2, step 2: hierarchical pairwise merge; a single worker folds
 	// the final <= 3 maps (the paper's T=6 walkthrough).
+	endPass = rec.Phase("pass2-merge-maps")
 	for len(accs) > 3 {
 		half := len(accs) / 2
 		for i := 0; i < half; i++ {
@@ -85,10 +106,12 @@ func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 	for _, other := range accs[1:] {
 		acc.mergeFrom(other)
 	}
+	endPass()
 
 	// Pass 3: all workers scan every edge; worker t updates only entries
 	// whose first vertex hashes to t. Map reads are concurrent-safe and
 	// entry writes are disjoint.
+	endPass = rec.Phase("pass3-dot")
 	edges := g.Edges()
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
@@ -103,8 +126,13 @@ func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 		}(t)
 	}
 	wg.Wait()
+	endPass()
 
-	return acc.materializeParallel(h2, workers)
+	endPass = rec.Phase("materialize")
+	pl := acc.materializeParallel(h2, workers)
+	endPass()
+	recordPairListStats(rec, pl)
+	return pl
 }
 
 // materializeParallel is materialize with the per-entry work split across

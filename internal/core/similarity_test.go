@@ -218,6 +218,41 @@ func TestPairListSort(t *testing.T) {
 	}
 }
 
+// TestPairListInvalidate is the regression test for the stale sorted flag:
+// Sort is a no-op once the flag is set, so callers that mutate Pairs in
+// place must Invalidate before re-sorting or the list silently stays in the
+// mutated (wrong) order.
+func TestPairListInvalidate(t *testing.T) {
+	g := graph.ErdosRenyi(30, 0.3, rng.New(4))
+	pl := Similarity(g)
+	pl.Sort()
+	if len(pl.Pairs) < 3 {
+		t.Fatal("workload too small to exercise the regression")
+	}
+	// Mutate the slice behind Sort's back: reverse into ascending order.
+	for i, j := 0, len(pl.Pairs)-1; i < j; i, j = i+1, j-1 {
+		pl.Pairs[i], pl.Pairs[j] = pl.Pairs[j], pl.Pairs[i]
+	}
+	// The stale flag makes this Sort a silent no-op — the historical bug.
+	pl.Sort()
+	if pl.Pairs[0].Sim >= pl.Pairs[len(pl.Pairs)-1].Sim {
+		t.Fatal("mutation did not disorder the list; test is vacuous")
+	}
+	pl.Invalidate()
+	if pl.Sorted() {
+		t.Fatal("Sorted() still true after Invalidate")
+	}
+	pl.Sort()
+	if !pl.Sorted() {
+		t.Fatal("Sorted() false after re-Sort")
+	}
+	for i := 1; i < len(pl.Pairs); i++ {
+		if pl.Pairs[i-1].Sim < pl.Pairs[i].Sim {
+			t.Fatalf("pairs %d,%d out of order after Invalidate+Sort", i-1, i)
+		}
+	}
+}
+
 func TestSimilarityParallelMatchesSerial(t *testing.T) {
 	for _, seed := range []uint64{1, 2} {
 		g := graph.ErdosRenyi(60, 0.15, rng.New(seed))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"linkclust/internal/graph"
+	"linkclust/internal/obs"
 )
 
 // Merge is one dendrogram event: at Level, clusters A and B fused into Into
@@ -40,7 +41,22 @@ func (r *Result) NumClusters() int { return r.Chain.NumClusters() }
 // edge absent from g, which indicates the list was built from a different
 // graph.
 func Sweep(g *graph.Graph, pl *PairList) (*Result, error) {
+	return SweepRecorded(g, pl, nil)
+}
+
+// SweepRecorded is Sweep with optional instrumentation: sort and merge
+// phase timers plus the pairs-processed, chain-rewrite (Fig. 2(1)) and
+// merge-event counters are recorded into rec. A nil rec records nothing and
+// adds no measurable overhead (instrumentation happens at phase
+// granularity, never inside the merge loop).
+func SweepRecorded(g *graph.Graph, pl *PairList, rec *obs.Recorder) (*Result, error) {
+	end := rec.Phase("sweep")
+	defer end()
+	endSort := rec.Phase("sort")
 	pl.Sort()
+	endSort()
+	endMerge := rec.Phase("merge")
+	defer endMerge()
 	res := &Result{Chain: NewChain(g.NumEdges())}
 	for i := range pl.Pairs {
 		p := &pl.Pairs[i]
@@ -67,11 +83,22 @@ func Sweep(g *graph.Graph, pl *PairList) (*Result, error) {
 			}
 		}
 	}
+	if rec != nil {
+		rec.Add(CtrSweepPairsProcessed, res.PairsProcessed)
+		rec.Add(CtrSweepChainRewrites, res.Chain.Changes())
+		rec.Add(CtrSweepMerges, int64(len(res.Merges)))
+	}
 	return res, nil
 }
 
 // Cluster is the serial end-to-end pipeline: Algorithm 1 followed by
 // Algorithm 2.
 func Cluster(g *graph.Graph) (*Result, error) {
-	return Sweep(g, Similarity(g))
+	return ClusterRecorded(g, nil)
+}
+
+// ClusterRecorded is the end-to-end pipeline with optional instrumentation
+// covering both phases.
+func ClusterRecorded(g *graph.Graph, rec *obs.Recorder) (*Result, error) {
+	return SweepRecorded(g, SimilarityRecorded(g, rec), rec)
 }

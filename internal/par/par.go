@@ -1,0 +1,47 @@
+// Package par centralizes worker-count normalization for every parallel
+// entry point of the pipeline. The exported APIs historically validated
+// their workers arguments inconsistently — SimilarityParallel silently fell
+// back to serial for workers < 2 while the coarse paths accepted any value,
+// so a negative count could reach goroutine fan-out code and a huge one
+// could clone a full array-C replica per unit of work. All paths now agree:
+// normalize first, then branch.
+package par
+
+import "runtime"
+
+// MinCap is the floor of the default worker cap. Oversubscription up to
+// MinCap goroutines is allowed even on machines with fewer cores: goroutine
+// fan-out is cheap, thread-sweep experiments keep their requested worker
+// counts, and the parallel code paths stay exercisable (and race-testable)
+// on single-core CI runners.
+const MinCap = 8
+
+// DefaultCap returns the default worker cap: runtime.NumCPU(), with a floor
+// of MinCap.
+func DefaultCap() int {
+	if n := runtime.NumCPU(); n > MinCap {
+		return n
+	}
+	return MinCap
+}
+
+// Normalize clamps a requested worker count to [1, DefaultCap()]: values
+// below 1 select serial execution, values above the cap are reduced to it.
+func Normalize(n int) int {
+	return NormalizeCap(n, 0)
+}
+
+// NormalizeCap is Normalize with an explicit upper bound; cap <= 0 selects
+// DefaultCap().
+func NormalizeCap(n, cap int) int {
+	if cap <= 0 {
+		cap = DefaultCap()
+	}
+	if n < 1 {
+		return 1
+	}
+	if n > cap {
+		return cap
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cap := DefaultCap()
+	cases := []struct {
+		in, want int
+	}{
+		{-5, 1},
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{cap, cap},
+		{cap + 1, cap},
+		{1 << 30, cap},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeCapExplicit(t *testing.T) {
+	if got := NormalizeCap(100, 3); got != 3 {
+		t.Errorf("NormalizeCap(100, 3) = %d, want 3", got)
+	}
+	if got := NormalizeCap(2, 3); got != 2 {
+		t.Errorf("NormalizeCap(2, 3) = %d, want 2", got)
+	}
+	if got := NormalizeCap(0, 3); got != 1 {
+		t.Errorf("NormalizeCap(0, 3) = %d, want 1", got)
+	}
+}
+
+func TestDefaultCapFloor(t *testing.T) {
+	cap := DefaultCap()
+	if cap < MinCap {
+		t.Fatalf("DefaultCap() = %d, below floor %d", cap, MinCap)
+	}
+	if n := runtime.NumCPU(); n > MinCap && cap != n {
+		t.Fatalf("DefaultCap() = %d, want NumCPU = %d", cap, n)
+	}
+}

@@ -1,0 +1,115 @@
+package linkclust
+
+// Race-exercise tests: many workers on small graphs, repeated, so that
+// `go test -race ./...` sweeps the parallel similarity fan-out, the coarse
+// sweep's replica merging, and a Recorder shared across concurrent
+// pipelines. Worker counts deliberately exceed the host's core count —
+// par.Normalize keeps them schedulable while preserving the goroutine
+// interleavings the race detector needs.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"linkclust/internal/coarse"
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/rng"
+)
+
+func raceGraph(seed uint64) *graph.Graph {
+	return graph.ErdosRenyi(80, 0.2, rng.New(seed))
+}
+
+func TestRaceSimilarityParallel(t *testing.T) {
+	g := raceGraph(1)
+	serial := core.Similarity(g)
+	serial.Sort()
+	for rep := 0; rep < 4; rep++ {
+		for _, workers := range []int{2, 4, 8} {
+			pl := core.SimilarityParallel(g, workers)
+			pl.Sort()
+			if len(pl.Pairs) != len(serial.Pairs) {
+				t.Fatalf("workers=%d: %d pairs, want %d", workers, len(pl.Pairs), len(serial.Pairs))
+			}
+			for i := range serial.Pairs {
+				s, p := &serial.Pairs[i], &pl.Pairs[i]
+				if s.U != p.U || s.V != p.V || math.Abs(s.Sim-p.Sim) > 1e-12 {
+					t.Fatalf("workers=%d pair %d: (%d,%d,%v) vs (%d,%d,%v)",
+						workers, i, p.U, p.V, p.Sim, s.U, s.V, s.Sim)
+				}
+			}
+		}
+	}
+}
+
+func TestRaceCoarseSweepReplicaMerge(t *testing.T) {
+	g := raceGraph(2)
+	pl := core.Similarity(g)
+	// Delta0 well above parallelMerge's serial-fallback threshold so the
+	// replica clone/fold path actually runs.
+	params := coarse.Params{Gamma: 2, Phi: 4, Delta0: 256, Eta0: 4, Workers: 1}
+	serial, err := coarse.Sweep(g, pl, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		for _, workers := range []int{2, 4, 8} {
+			params.Workers = workers
+			rec := obs.New()
+			res, err := coarse.SweepRecorded(g, pl, params, rec)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if res.FinalClusters != serial.FinalClusters || res.Levels != serial.Levels {
+				t.Fatalf("workers=%d: %d clusters / %d levels, want %d / %d",
+					workers, res.FinalClusters, res.Levels, serial.FinalClusters, serial.Levels)
+			}
+			if res.OpsProcessed != serial.OpsProcessed {
+				t.Fatalf("workers=%d: ops %d vs %d", workers, res.OpsProcessed, serial.OpsProcessed)
+			}
+			if rec.Counter(coarse.CtrReplicaClones) == 0 {
+				t.Fatalf("workers=%d: replica path never engaged (Delta0 too small for this workload?)", workers)
+			}
+		}
+	}
+}
+
+// TestRaceSharedRecorder runs several instrumented pipelines concurrently
+// against one Recorder: counter writes from all goroutines must be
+// race-free and sum exactly, and interleaved Phase/end pairs from different
+// goroutines must be tolerated without panics.
+func TestRaceSharedRecorder(t *testing.T) {
+	const pipelines = 4
+	g := raceGraph(3)
+	serial := core.Similarity(g)
+
+	rec := obs.New()
+	var wg sync.WaitGroup
+	errs := make(chan error, pipelines)
+	for p := 0; p < pipelines; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pl := core.SimilarityParallelRecorded(g, 4, rec)
+			if _, err := core.SweepRecorded(g, pl, rec); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got, want := rec.Counter(core.CtrSimilarityPairs), int64(pipelines)*int64(len(serial.Pairs)); got != want {
+		t.Fatalf("shared counter %s = %d, want %d", core.CtrSimilarityPairs, got, want)
+	}
+	rep := rec.Report()
+	if rep == nil || len(rep.Phases) == 0 {
+		t.Fatal("shared recorder produced an empty report")
+	}
+}
