@@ -154,16 +154,36 @@ type ClusterOptions struct {
 	Recorder *Recorder
 }
 
-// Similarity runs the initialization phase (Algorithm 1) serially,
-// producing the similarity-annotated pair list.
+// Similarity runs the initialization phase (Algorithm 1) serially with the
+// wedge-major (Gustavson) kernel, producing the similarity-annotated pair
+// list. Contributions are grouped by the smaller endpoint of each map-M key
+// into a per-row sparse accumulator, avoiding the global hash map of the
+// reference implementation (see SimilarityLegacy).
 func Similarity(g *Graph) *PairList { return core.Similarity(g) }
 
-// SimilarityParallel runs the initialization phase with the multi-threaded
-// scheme of Section VI-A. The workers argument is normalized: values below
-// 2 (after clamping) fall back to the serial path, values above
-// max(runtime.NumCPU(), 8) are clamped to that cap.
+// SimilarityParallel runs the initialization phase multi-threaded with the
+// wedge-major kernel: rows of map M partition disjointly across workers
+// (count-then-fill into a CSR layout, no merge phase), and the output is
+// bitwise identical to Similarity for any worker count. The workers
+// argument is normalized: values below 2 (after clamping) fall back to the
+// serial path, values above max(runtime.NumCPU(), 8) are clamped to that
+// cap.
 func SimilarityParallel(g *Graph, workers int) *PairList {
 	return core.SimilarityParallel(g, workers)
+}
+
+// SimilarityLegacy runs the initialization phase through the original
+// global hash-map accumulator — the paper's Section VI-A scheme, kept as
+// the differential-testing reference and benchmark baseline. After Sort its
+// output is element-wise identical to Similarity.
+func SimilarityLegacy(g *Graph) *PairList { return core.SimilarityLegacy(g) }
+
+// SimilarityParallelLegacy is the multi-threaded legacy path (per-worker
+// hash maps merged hierarchically, Section VI-A). Unlike SimilarityParallel
+// it matches the serial result only to float tolerance, because the map
+// merges reorder additions. workers is normalized as in SimilarityParallel.
+func SimilarityParallelLegacy(g *Graph, workers int) *PairList {
+	return core.SimilarityParallelLegacy(g, workers)
 }
 
 // Sweep runs the sweeping phase (Algorithm 2) over a pair list built from

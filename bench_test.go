@@ -264,6 +264,68 @@ func BenchmarkFig1Example(b *testing.B) {
 	}
 }
 
+// BenchmarkSimilarity compares the initialization-phase kernels serially on
+// the heaviest workload of the sweep: the legacy global hash-map
+// accumulator versus the wedge-major (Gustavson/SPA) row accumulation that
+// Similarity now uses. Same output after Sort; the wedge kernel trades
+// hash lookups and linked-list chains for dense per-row scratch.
+func BenchmarkSimilarity(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.SimilarityLegacy(g)
+		}
+	})
+	b.Run("wedge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.SimilarityWedge(g)
+		}
+	})
+}
+
+// BenchmarkSimilarityParallel is the acceptance benchmark of the kernel
+// swap: 8 workers on the medium workload, legacy hash-map accumulator
+// (per-worker maps + hierarchical merge + edge-bucketed pass 3) versus the
+// wedge-major count-then-fill kernel (no merge phase at all). The lcbench
+// `simkernel` experiment records the same comparison to
+// BENCH_similarity.json.
+func BenchmarkSimilarityParallel(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	const workers = 8
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.SimilarityParallelLegacy(g, workers)
+		}
+	})
+	b.Run("wedge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.SimilarityWedgeParallel(g, workers)
+		}
+	})
+}
+
+// BenchmarkPairListSort isolates the K1·log K1 sort that becomes the
+// dominant serial fraction once the wedge kernel shrinks accumulation:
+// the legacy closure-based sort.Slice-equivalent serial path (workers=1)
+// versus the chunked parallel sort with k-way merge.
+func BenchmarkPairListSort(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	pl := core.Similarity(g)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cp := copyPairList(pl)
+				cp.SortWorkers(workers)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationChain compares the paper's chain array C against classic
 // union-find structures on the real merge stream of a workload — the
 // central data-structure choice of Algorithm 2. The chain pays full-chain

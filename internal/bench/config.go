@@ -49,6 +49,10 @@ type Config struct {
 	// construction, per-figure runs) for the harness's run report. Nil
 	// disables instrumentation.
 	Obs *obs.Recorder
+	// BenchJSON, when non-empty, is the path where machine-readable
+	// microbenchmark experiments (currently simkernel) write their results
+	// in the linkclust/bench/v1 schema (e.g. BENCH_similarity.json).
+	BenchJSON string
 }
 
 // Size selects a preset workload scale.

@@ -2,7 +2,7 @@ package coarse
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"linkclust/internal/core"
 	"linkclust/internal/graph"
@@ -664,7 +664,7 @@ func (s *sweeper) emitDiffMerges(oldSnap []int32, sim float64) {
 		if len(olds) < 2 {
 			continue
 		}
-		sort.Slice(olds, func(i, j int) bool { return olds[i] < olds[j] })
+		slices.Sort(olds)
 		// olds[0] == nr because roots are minima.
 		base := olds[0]
 		for _, o := range olds[1:] {
@@ -683,12 +683,11 @@ func (s *sweeper) emitDiffMerges(oldSnap []int32, sim float64) {
 	for lvlStart > 0 && ms[lvlStart-1].Level == level {
 		lvlStart--
 	}
-	sort.Slice(ms[lvlStart:], func(i, j int) bool {
-		a, b := ms[lvlStart+i], ms[lvlStart+j]
+	slices.SortFunc(ms[lvlStart:], func(a, b core.Merge) int {
 		if a.A != b.A {
-			return a.A < b.A
+			return int(a.A) - int(b.A)
 		}
-		return a.B < b.B
+		return int(a.B) - int(b.B)
 	})
 }
 

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"linkclust/internal/graph"
+	"linkclust/internal/par"
 )
 
 // CompactPairList is a struct-of-arrays representation of the pair list for
@@ -65,7 +65,9 @@ func (c *CompactPairList) MemoryBytes() int64 {
 func (c *CompactPairList) Sorted() bool { return c.sorted }
 
 // Sort orders pairs by non-increasing similarity with the same (U, V)
-// tie-break as PairList.Sort, rebuilding the arena in the new order.
+// tie-break as PairList.Sort, rebuilding the arena in the new order. Like
+// PairList.Sort, the permutation sort runs chunked across workers with a
+// parallel merge; the result is identical for any worker count.
 func (c *CompactPairList) Sort() {
 	if c.sorted {
 		return
@@ -75,15 +77,17 @@ func (c *CompactPairList) Sort() {
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.Slice(perm, func(x, y int) bool {
-		i, j := perm[x], perm[y]
+	par.SortFunc(perm, par.DefaultCap(), func(i, j int) int {
 		if c.sim[i] != c.sim[j] {
-			return c.sim[i] > c.sim[j]
+			if c.sim[i] > c.sim[j] {
+				return -1
+			}
+			return 1
 		}
 		if c.u[i] != c.u[j] {
-			return c.u[i] < c.u[j]
+			return int(c.u[i]) - int(c.u[j])
 		}
-		return c.v[i] < c.v[j]
+		return int(c.v[i]) - int(c.v[j])
 	})
 	u := make([]int32, n)
 	v := make([]int32, n)

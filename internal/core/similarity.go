@@ -11,10 +11,11 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"linkclust/internal/graph"
 	"linkclust/internal/obs"
+	"linkclust/internal/par"
 )
 
 // Counter names this package records into an obs.Recorder.
@@ -25,6 +26,9 @@ const (
 	// CtrSimilarityIncidentPairs is the total number of incident edge
 	// pairs the list drives (= K2 of the graph).
 	CtrSimilarityIncidentPairs = "similarity.incident_pairs"
+	// CtrSimilarityWedgeRows counts rows (smaller endpoints owning at
+	// least one pair of map M) produced by the wedge-major kernel.
+	CtrSimilarityWedgeRows = "similarity.wedge_rows"
 	// CtrSweepPairsProcessed counts incident edge pairs fed to MERGE.
 	CtrSweepPairsProcessed = "sweep.pairs_processed"
 	// CtrSweepChainRewrites counts array-C entry rewrites — the quantity
@@ -67,22 +71,37 @@ func (pl *PairList) NumIncidentPairs() int64 {
 	return n
 }
 
+// cmpPairs is the list-L order: non-increasing similarity, ties broken by
+// (U, V) ascending. It is a total order (keys are unique), so sorting is
+// deterministic under any parallel chunking.
+func cmpPairs(a, b Pair) int {
+	if a.Sim != b.Sim {
+		if a.Sim > b.Sim {
+			return -1
+		}
+		return 1
+	}
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.V) - int(b.V)
+}
+
 // Sort orders the pairs by non-increasing similarity, breaking ties by
-// (U, V) ascending so runs are deterministic. Sorting is idempotent.
+// (U, V) ascending so runs are deterministic. Sorting is idempotent. The
+// K1·log K1 sort runs chunked across workers with a parallel merge (small
+// lists stay serial); the result is identical for any worker count.
 func (pl *PairList) Sort() {
+	pl.SortWorkers(par.DefaultCap())
+}
+
+// SortWorkers is Sort with an explicit worker count, normalized like every
+// parallel entry point; values below 2 sort serially.
+func (pl *PairList) SortWorkers(workers int) {
 	if pl.sorted {
 		return
 	}
-	sort.Slice(pl.Pairs, func(i, j int) bool {
-		a, b := &pl.Pairs[i], &pl.Pairs[j]
-		if a.Sim != b.Sim {
-			return a.Sim > b.Sim
-		}
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
+	par.SortFunc(pl.Pairs, workers, cmpPairs)
 	pl.sorted = true
 }
 
@@ -95,7 +114,8 @@ func (pl *PairList) Sorted() bool { return pl.sorted }
 func (pl *PairList) Invalidate() { pl.sorted = false }
 
 // link is one node of the per-pair common-neighbor linked list used during
-// accumulation; lists are materialized into a contiguous arena at finalize.
+// accumulation by the legacy hash-map kernel; lists are materialized into a
+// contiguous arena at finalize.
 type link struct {
 	v    int32
 	next int32 // index into links, -1 terminates
@@ -109,9 +129,11 @@ type accumEntry struct {
 	n    int32 // number of common neighbors
 }
 
-// accumulator builds map M incrementally. Each worker of the parallel
-// initialization owns one; mergeFrom combines them (Section VI-A, pass 2,
-// step 2).
+// accumulator builds map M incrementally through a global hash map — the
+// legacy kernel, kept as the reference implementation the wedge-major
+// kernel is differentially tested against. Each worker of the legacy
+// parallel initialization owns one; mergeFrom combines them (Section VI-A,
+// pass 2, step 2).
 type accumulator struct {
 	idx     map[uint64]int32 // packed pair -> entries index
 	entries []accumEntry
@@ -230,7 +252,7 @@ func (a *accumulator) materialize(h2 []float64) *PairList {
 		common := arena[start : start+int(e.n)]
 		// The linked list reversed insertion order; restore ascending
 		// order for determinism.
-		sort.Slice(common, func(x, y int) bool { return common[x] < common[y] })
+		slices.Sort(common)
 		pairs[i] = Pair{
 			U:      e.u,
 			V:      e.v,
@@ -241,9 +263,10 @@ func (a *accumulator) materialize(h2 []float64) *PairList {
 	return &PairList{Pairs: pairs}
 }
 
-// Similarity runs Algorithm 1 serially: three passes over g producing the
-// similarity-annotated pair list (map M). The result is deterministic: pairs
-// appear in first-encounter order (vertex-major) until Sort is called.
+// Similarity runs Algorithm 1 serially with the wedge-major (Gustavson)
+// kernel, producing the similarity-annotated pair list (map M). The result
+// is deterministic: pairs appear in (U, V)-lexicographic order until Sort
+// is called.
 func Similarity(g *graph.Graph) *PairList {
 	return SimilarityRecorded(g, nil)
 }
@@ -252,6 +275,22 @@ func Similarity(g *graph.Graph) *PairList {
 // phase timers and the K1/K2 counters are recorded into rec. A nil rec
 // records nothing and adds no measurable overhead.
 func SimilarityRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
+	return SimilarityWedgeRecorded(g, rec)
+}
+
+// SimilarityLegacy runs Algorithm 1 serially through the original global
+// hash-map accumulator. It is retained as the differential-testing
+// reference and as the baseline of the kernel benchmarks; Similarity (the
+// wedge-major kernel) produces element-wise identical output after Sort,
+// with bitwise-equal similarities. Pairs appear in first-encounter order
+// (vertex-major by common neighbor).
+func SimilarityLegacy(g *graph.Graph) *PairList {
+	return SimilarityLegacyRecorded(g, nil)
+}
+
+// SimilarityLegacyRecorded is SimilarityLegacy with optional
+// instrumentation.
+func SimilarityLegacyRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
 	end := rec.Phase("similarity")
 	defer end()
 	n := g.NumVertices()

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"linkclust/internal/graph"
@@ -9,23 +9,13 @@ import (
 	"linkclust/internal/par"
 )
 
-// SimilarityParallel runs Algorithm 1 with the multi-threaded scheme of
-// Section VI-A:
-//
-//   - pass 1 partitions the vertices round-robin across workers (disjoint
-//     writes to H1/H2);
-//   - pass 2 gives each worker a private accumulator over its vertex set,
-//     then merges the per-worker maps pairwise and hierarchically until at
-//     most three remain, which a single worker folds together;
-//   - pass 3 has every worker scan the full edge list but update only the
-//     map entries whose first vertex hashes to that worker, so no two
-//     workers touch the same entry;
-//   - the closing normalization/materialization is partitioned by entry
-//     ranges with precomputed arena offsets.
+// SimilarityParallel runs Algorithm 1 multi-threaded with the wedge-major
+// kernel: rows of map M partition disjointly across workers, a count pass
+// sizes the CSR layout and a fill pass writes every row into precomputed
+// slots, with no map-merge phase and no edge rescan (see similarity_wedge.go).
 //
 // The resulting PairList contains exactly the same pairs, similarities and
-// common-neighbor sets as Similarity(g); after Sort the two are identical
-// element-wise.
+// common-neighbor sets as Similarity(g) — bitwise, for any worker count.
 //
 // The workers argument is normalized like every parallel entry point of the
 // pipeline: values below 2 (after clamping) run the serial implementation,
@@ -38,9 +28,40 @@ func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 // instrumentation: per-pass phase timers and the K1/K2 counters are
 // recorded into rec. A nil rec records nothing.
 func SimilarityParallelRecorded(g *graph.Graph, workers int, rec *obs.Recorder) *PairList {
+	return SimilarityWedgeParallelRecorded(g, workers, rec)
+}
+
+// SimilarityParallelLegacy runs Algorithm 1 with the original
+// multi-threaded scheme of Section VI-A, kept as the fallback/reference the
+// wedge-major kernel is benchmarked and differentially tested against:
+//
+//   - pass 1 partitions the vertices round-robin across workers (disjoint
+//     writes to H1/H2);
+//   - pass 2 gives each worker a private hash-map accumulator over its
+//     vertex set, then merges the per-worker maps pairwise and
+//     hierarchically until at most three remain, which a single worker
+//     folds together;
+//   - pass 3 buckets the edge list by owning worker once, then each worker
+//     applies the diagonal term to its own bucket's entries — no worker
+//     rescans the full edge list;
+//   - the closing normalization/materialization is partitioned by entry
+//     ranges with precomputed arena offsets.
+//
+// The resulting PairList contains exactly the same pairs, similarities and
+// common-neighbor sets as SimilarityLegacy(g); after Sort the two are
+// identical element-wise.
+//
+// The workers argument is normalized exactly as in SimilarityParallel.
+func SimilarityParallelLegacy(g *graph.Graph, workers int) *PairList {
+	return SimilarityParallelLegacyRecorded(g, workers, nil)
+}
+
+// SimilarityParallelLegacyRecorded is SimilarityParallelLegacy with
+// optional instrumentation.
+func SimilarityParallelLegacyRecorded(g *graph.Graph, workers int, rec *obs.Recorder) *PairList {
 	workers = par.Normalize(workers)
 	if workers < 2 {
-		return SimilarityRecorded(g, rec)
+		return SimilarityLegacyRecorded(g, rec)
 	}
 	end := rec.Phase("similarity")
 	defer end()
@@ -108,22 +129,35 @@ func SimilarityParallelRecorded(g *graph.Graph, workers int, rec *obs.Recorder) 
 	}
 	endPass()
 
-	// Pass 3: all workers scan every edge; worker t updates only entries
-	// whose first vertex hashes to t. Map reads are concurrent-safe and
-	// entry writes are disjoint.
+	// Pass 3: edges are bucketed by owning worker (first vertex mod
+	// workers) in one O(|E|) pass, then worker t applies the diagonal term
+	// to its own bucket only. The historical scheme had every worker scan
+	// the full edge list and skip foreign edges — O(workers·|E|) total
+	// filter work; bucketing makes the pass O(|E|) overall. Map reads are
+	// concurrent-safe and entry writes stay disjoint.
 	endPass = rec.Phase("pass3-dot")
 	edges := g.Edges()
+	counts := make([]int32, workers)
+	for i := range edges {
+		counts[int(edges[i].U)%workers]++
+	}
+	buckets := make([][]int32, workers)
+	for t := range buckets {
+		buckets[t] = make([]int32, 0, counts[t])
+	}
+	for i := range edges {
+		t := int(edges[i].U) % workers
+		buckets[t] = append(buckets[t], int32(i))
+	}
 	for t := 0; t < workers; t++ {
 		wg.Add(1)
-		go func(t int) {
+		go func(bucket []int32) {
 			defer wg.Done()
-			for _, e := range edges {
-				if int(e.U)%workers != t {
-					continue
-				}
+			for _, i := range bucket {
+				e := &edges[i]
 				acc.addDot(e.U, e.V, (h1[e.U]+h1[e.V])*e.Weight)
 			}
-		}(t)
+		}(buckets[t])
 	}
 	wg.Wait()
 	endPass()
@@ -166,7 +200,7 @@ func (a *accumulator) materializeParallel(h2 []float64, workers int) *PairList {
 				for li := e.head; li >= 0; li = a.links[li].next {
 					common = append(common, a.links[li].v)
 				}
-				sort.Slice(common, func(x, y int) bool { return common[x] < common[y] })
+				slices.Sort(common)
 				pairs[i] = Pair{
 					U:      e.u,
 					V:      e.v,

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"linkclust/internal/assoc"
+	"linkclust/internal/corpus"
+	"linkclust/internal/graph"
+	"linkclust/internal/planted"
+	"linkclust/internal/rng"
+)
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// wedgeTestGraphs returns the differential-test graph families: random
+// (Erdős–Rényi at several densities), planted overlapping communities, the
+// paper's example, structured families (complete, circulant), and a
+// word-association network built from a small synthetic corpus.
+func wedgeTestGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{
+		"paper-example": graph.PaperExample(),
+		"complete-16":   graph.Complete(16),
+		"disjoint":      graph.DisjointEdges(6),
+		"empty":         graph.NewBuilder(0).Build(nil),
+		"edgeless":      graph.NewBuilder(7).Build(nil),
+	}
+	if g, err := graph.Circulant(48, 6); err == nil {
+		out["circulant-48"] = g
+	} else {
+		t.Fatalf("circulant: %v", err)
+	}
+	for _, seed := range []uint64{1, 5} {
+		out[fmt.Sprintf("erdos-renyi-sparse-%d", seed)] = graph.ErdosRenyi(120, 0.05, rng.New(seed))
+		out[fmt.Sprintf("erdos-renyi-dense-%d", seed)] = graph.ErdosRenyi(60, 0.3, rng.New(seed))
+	}
+	pcfg := planted.DefaultConfig()
+	pcfg.Nodes = 150
+	pcfg.Communities = 6
+	bench, err := planted.Generate(pcfg)
+	if err != nil {
+		t.Fatalf("planted: %v", err)
+	}
+	out["planted"] = bench.Graph
+	ccfg := corpus.DefaultSynthConfig()
+	ccfg.Vocab = 800
+	ccfg.Docs = 1500
+	ccfg.Topics = 8
+	wg, err := assoc.Build(corpus.Synthesize(ccfg), 0.5, assoc.Options{EdgePermSeed: 42})
+	if err != nil {
+		t.Fatalf("assoc: %v", err)
+	}
+	out["word-association"] = wg
+	return out
+}
+
+// requireIdenticalSorted asserts two pair lists are element-wise identical
+// after Sort — including bitwise-equal similarities and identical
+// common-neighbor lists.
+func requireIdenticalSorted(t *testing.T, label string, got, want *PairList) {
+	t.Helper()
+	got.Sort()
+	want.Sort()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range want.Pairs {
+		g, w := &got.Pairs[i], &want.Pairs[i]
+		if g.U != w.U || g.V != w.V {
+			t.Fatalf("%s pair %d: (%d,%d), want (%d,%d)", label, i, g.U, g.V, w.U, w.V)
+		}
+		if g.Sim != w.Sim {
+			t.Fatalf("%s pair (%d,%d): sim %v, want bitwise-equal %v", label, g.U, g.V, g.Sim, w.Sim)
+		}
+		if len(g.Common) != len(w.Common) {
+			t.Fatalf("%s pair (%d,%d): commons %v, want %v", label, g.U, g.V, g.Common, w.Common)
+		}
+		for j := range w.Common {
+			if g.Common[j] != w.Common[j] {
+				t.Fatalf("%s pair (%d,%d): commons %v, want %v", label, g.U, g.V, g.Common, w.Common)
+			}
+		}
+	}
+}
+
+// TestWedgeDifferential is the differential test of the kernel swap: the
+// wedge-major serial kernel, the wedge-major parallel kernel at 1..8
+// workers, and the legacy hash-map kernel (serial and parallel) must all
+// produce element-wise identical sorted pair lists on every graph family.
+func TestWedgeDifferential(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			legacy := SimilarityLegacy(g)
+			wedge := SimilarityWedge(g)
+			requireIdenticalSorted(t, "wedge-serial vs legacy", wedge, legacy)
+			for workers := 1; workers <= 8; workers++ {
+				pw := SimilarityWedgeParallel(g, workers)
+				requireIdenticalSorted(t, fmt.Sprintf("wedge-parallel-%d vs legacy", workers), pw, legacy)
+			}
+			// The legacy parallel path reorders float additions through its
+			// hierarchical map merges, so it only matches to tolerance —
+			// the historical contract (TestSimilarityParallelMatchesSerial
+			// used 1e-12 long before the wedge kernel existed).
+			pl := SimilarityParallelLegacy(g, 4)
+			pl.Sort()
+			if len(pl.Pairs) != len(legacy.Pairs) {
+				t.Fatalf("legacy-parallel: %d pairs, want %d", len(pl.Pairs), len(legacy.Pairs))
+			}
+			for i := range legacy.Pairs {
+				p, w := &pl.Pairs[i], &legacy.Pairs[i]
+				if p.U != w.U || p.V != w.V || abs(p.Sim-w.Sim) > 1e-12 {
+					t.Fatalf("legacy-parallel pair %d: (%d,%d,%v) vs (%d,%d,%v)", i, p.U, p.V, p.Sim, w.U, w.V, w.Sim)
+				}
+			}
+		})
+	}
+}
+
+// TestWedgeUnsortedOrder pins the wedge kernel's deterministic pre-Sort
+// contract: pairs appear in (U, V)-lexicographic order, identically for the
+// serial and parallel paths.
+func TestWedgeUnsortedOrder(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.15, rng.New(11))
+	serial := SimilarityWedge(g)
+	for i := 1; i < len(serial.Pairs); i++ {
+		a, b := &serial.Pairs[i-1], &serial.Pairs[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatalf("pairs %d,%d not (U,V)-lexicographic: (%d,%d) then (%d,%d)", i-1, i, a.U, a.V, b.U, b.V)
+		}
+	}
+	for _, workers := range []int{2, 5, 8} {
+		par := SimilarityWedgeParallel(g, workers)
+		if len(par.Pairs) != len(serial.Pairs) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(par.Pairs), len(serial.Pairs))
+		}
+		for i := range serial.Pairs {
+			s, p := &serial.Pairs[i], &par.Pairs[i]
+			if s.U != p.U || s.V != p.V || s.Sim != p.Sim {
+				t.Fatalf("workers=%d pair %d differs pre-Sort: (%d,%d,%v) vs (%d,%d,%v)",
+					workers, i, p.U, p.V, p.Sim, s.U, s.V, s.Sim)
+			}
+		}
+	}
+}
+
+// TestWedgeRowAccumScratchClean verifies the O(row) reset discipline: after
+// a full run the dense scratch must be spotless, or later rows would
+// inherit ghost contributions. Exercised indirectly by reusing one graph's
+// accumulator across two very different graphs of the same vertex count.
+func TestWedgeRowAccumScratchClean(t *testing.T) {
+	n := 50
+	ra := newRowAccum(n)
+	dense := graph.ErdosRenyi(n, 0.4, rng.New(3))
+	for u := 0; u < n; u++ {
+		if w := ra.enumerateRow(dense, u); w > 0 {
+			pairs := make([]Pair, len(ra.touched))
+			commons := make([]int32, w)
+			h := make([]float64, n)
+			ra.emitRow(u, h, h, pairs, commons)
+		}
+		ra.resetMarks(dense, u)
+	}
+	for v := 0; v < n; v++ {
+		if ra.dot[v] != 0 || ra.cnt[v] != 0 || ra.wTo[v] != 0 {
+			t.Fatalf("scratch dirty at %d after full run: dot=%v cnt=%d wTo=%v", v, ra.dot[v], ra.cnt[v], ra.wTo[v])
+		}
+	}
+}
+
+// TestWedgeCountMatchesFill cross-checks the sizing pass against the fill
+// pass row by row.
+func TestWedgeCountMatchesFill(t *testing.T) {
+	g := graph.ErdosRenyi(90, 0.2, rng.New(7))
+	n := g.NumVertices()
+	count := newRowAccum(n)
+	fill := newRowAccum(n)
+	for u := 0; u < n; u++ {
+		pairs, wedges := count.countRow(g, u)
+		w := fill.enumerateRow(g, u)
+		if int64(w) != wedges || len(fill.touched) != int(pairs) {
+			t.Fatalf("row %d: count pass (%d pairs, %d wedges) vs fill pass (%d pairs, %d wedges)",
+				u, pairs, wedges, len(fill.touched), w)
+		}
+		if w > 0 {
+			ps := make([]Pair, len(fill.touched))
+			cs := make([]int32, w)
+			h := make([]float64, n)
+			fill.emitRow(u, h, h, ps, cs)
+		}
+		fill.resetMarks(g, u)
+	}
+}

@@ -17,6 +17,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -222,8 +223,9 @@ func (b *Builder) Build(perm []int) *Graph {
 		g.adj[v] = append(g.adj[v], Half{To: u, Weight: w, Edge: int32(e)})
 	}
 	for v := range g.adj {
-		a := g.adj[v]
-		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+		// slices.SortFunc (pdqsort, no interface boxing) — this runs once
+		// per vertex on every graph construction.
+		slices.SortFunc(g.adj[v], func(x, y Half) int { return int(x.To) - int(y.To) })
 	}
 	return g
 }

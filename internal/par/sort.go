@@ -1,0 +1,150 @@
+package par
+
+import (
+	"slices"
+	"sync"
+)
+
+// sortSerialThreshold is the input size below which SortFunc runs serially:
+// goroutine fan-out and the merge scratch buffer cost more than pdqsort
+// saves on small inputs.
+const sortSerialThreshold = 1 << 13
+
+// minMergeSplit is the smallest run length worth splitting across multiple
+// goroutines during a merge round.
+const minMergeSplit = 1 << 10
+
+// SortFunc sorts s by cmp using up to workers goroutines: the slice is cut
+// into a power-of-two number of chunks, each chunk is sorted concurrently
+// with slices.SortFunc, and the sorted runs are combined by parallel merge
+// rounds (later rounds split each large merge across idle workers via
+// binary-search partitioning).
+//
+// workers is normalized like every parallel entry point (values below 2, or
+// inputs below the serial threshold, run slices.SortFunc directly).
+//
+// When cmp is a total order over the elements of s — true for every sort in
+// this codebase, whose comparators always break ties down to a unique key —
+// the output is deterministic and identical to slices.SortFunc for any
+// worker count. With genuinely equal elements the output is still sorted,
+// but their relative order may depend on the chunk boundaries.
+func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
+	workers = Normalize(workers)
+	n := len(s)
+	if workers < 2 || n < sortSerialThreshold {
+		slices.SortFunc(s, cmp)
+		return
+	}
+
+	// The largest power-of-two chunk count that keeps chunks big enough to
+	// be worth a goroutine and does not exceed the worker budget.
+	chunks := 1
+	for chunks*2 <= workers && n/(chunks*2) >= sortSerialThreshold/4 {
+		chunks *= 2
+	}
+	if chunks < 2 {
+		slices.SortFunc(s, cmp)
+		return
+	}
+
+	bounds := make([]int, chunks+1)
+	for i := range bounds {
+		bounds[i] = i * n / chunks
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < chunks; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			slices.SortFunc(s[lo:hi], cmp)
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// log2(chunks) merge rounds, ping-ponging between s and a scratch
+	// buffer. chunks is a power of two, so every round pairs runs evenly.
+	scratch := make([]T, n)
+	src, dst := s, scratch
+	for width := 1; width < chunks; width *= 2 {
+		merges := chunks / (2 * width)
+		parts := workers / merges
+		if parts < 1 {
+			parts = 1
+		}
+		for m := 0; m < merges; m++ {
+			lo := bounds[2*m*width]
+			mid := bounds[2*m*width+width]
+			hi := bounds[2*(m+1)*width]
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], parts, cmp, &wg)
+		}
+		wg.Wait()
+		src, dst = dst, src
+	}
+	if n > 0 && &src[0] != &s[0] {
+		copy(s, src)
+	}
+}
+
+// mergeRuns merges sorted runs a and b into dst (len(dst) == len(a)+len(b)),
+// split into up to parts independent segments, each merged by one goroutine
+// registered on wg. Ties are taken from a first, so the merge is stable.
+func mergeRuns[T any](dst, a, b []T, parts int, cmp func(a, b T) int, wg *sync.WaitGroup) {
+	if parts < 2 || len(a) < minMergeSplit || len(b) < minMergeSplit {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mergeInto(dst, a, b, cmp)
+		}()
+		return
+	}
+	prevA, prevB := 0, 0
+	for p := 1; p <= parts; p++ {
+		ai, bi := len(a), len(b)
+		if p < parts {
+			ai = p * len(a) / parts
+			// Everything in b strictly below a[ai] merges before it (the
+			// stable merge prefers a on ties), so the b split point is the
+			// lower bound of a[ai].
+			bi = lowerBound(b, a[ai], cmp)
+		}
+		wg.Add(1)
+		go func(dst, a, b []T) {
+			defer wg.Done()
+			mergeInto(dst, a, b, cmp)
+		}(dst[prevA+prevB:ai+bi], a[prevA:ai], b[prevB:bi])
+		prevA, prevB = ai, bi
+	}
+}
+
+// mergeInto is a serial stable merge of sorted runs a and b into dst.
+func mergeInto[T any](dst, a, b []T, cmp func(a, b T) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// lowerBound returns the first index of sorted run b whose element is not
+// less than key.
+func lowerBound[T any](b []T, key T, cmp func(a, b T) int) int {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if cmp(b[m], key) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}

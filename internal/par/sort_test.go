@@ -1,0 +1,112 @@
+package par
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func randomInts(n int, seed int64) []int {
+	src := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = src.Intn(10 * n)
+	}
+	return out
+}
+
+// distinct keys: (value, index) pairs so cmp is a total order even when the
+// generator collides.
+type keyed struct {
+	v, id int
+}
+
+func cmpKeyed(a, b keyed) int {
+	if a.v != b.v {
+		return cmp.Compare(a.v, b.v)
+	}
+	return cmp.Compare(a.id, b.id)
+}
+
+func TestSortFuncMatchesSerial(t *testing.T) {
+	sizes := []int{0, 1, 2, 100, sortSerialThreshold - 1, sortSerialThreshold, 50000, 131072}
+	for _, n := range sizes {
+		base := randomInts(n, int64(n))
+		items := make([]keyed, n)
+		for i, v := range base {
+			items[i] = keyed{v: v, id: i}
+		}
+		want := slices.Clone(items)
+		slices.SortFunc(want, cmpKeyed)
+		for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+			got := slices.Clone(items)
+			SortFunc(got, workers, cmpKeyed)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel sort differs from serial", n, workers)
+			}
+		}
+	}
+}
+
+func TestSortFuncDuplicatesStaySorted(t *testing.T) {
+	// With equal elements the ordering guarantee weakens to "sorted"; the
+	// multiset must still be preserved.
+	n := 60000
+	src := rand.New(rand.NewSource(9))
+	s := make([]int, n)
+	for i := range s {
+		s[i] = src.Intn(8) // heavy duplication
+	}
+	counts := make(map[int]int)
+	for _, v := range s {
+		counts[v]++
+	}
+	SortFunc(s, 8, cmp.Compare[int])
+	for i := 1; i < n; i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, s[i-1], s[i])
+		}
+	}
+	for _, v := range s {
+		counts[v]--
+	}
+	for v, c := range counts {
+		if c != 0 {
+			t.Fatalf("multiset changed for value %d (delta %d)", v, c)
+		}
+	}
+}
+
+func TestSortFuncAlreadySortedAndReversed(t *testing.T) {
+	n := 40000
+	asc := make([]int, n)
+	for i := range asc {
+		asc[i] = i
+	}
+	desc := make([]int, n)
+	for i := range desc {
+		desc[i] = n - i
+	}
+	for _, s := range [][]int{asc, desc} {
+		got := slices.Clone(s)
+		SortFunc(got, 6, cmp.Compare[int])
+		if !slices.IsSorted(got) {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func BenchmarkSortFunc(b *testing.B) {
+	n := 1 << 20
+	base := randomInts(n, 42)
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "serial", 8: "workers=8"}[workers], func(b *testing.B) {
+			s := make([]int, n)
+			for i := 0; i < b.N; i++ {
+				copy(s, base)
+				SortFunc(s, workers, cmp.Compare[int])
+			}
+		})
+	}
+}

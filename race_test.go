@@ -24,12 +24,72 @@ func raceGraph(seed uint64) *graph.Graph {
 }
 
 func TestRaceSimilarityParallel(t *testing.T) {
+	// SimilarityParallel is the wedge-major kernel: its parallel output is
+	// bitwise identical to serial, so the comparison here is exact.
 	g := raceGraph(1)
 	serial := core.Similarity(g)
 	serial.Sort()
 	for rep := 0; rep < 4; rep++ {
 		for _, workers := range []int{2, 4, 8} {
 			pl := core.SimilarityParallel(g, workers)
+			pl.Sort()
+			if len(pl.Pairs) != len(serial.Pairs) {
+				t.Fatalf("workers=%d: %d pairs, want %d", workers, len(pl.Pairs), len(serial.Pairs))
+			}
+			for i := range serial.Pairs {
+				s, p := &serial.Pairs[i], &pl.Pairs[i]
+				if s.U != p.U || s.V != p.V || s.Sim != p.Sim {
+					t.Fatalf("workers=%d pair %d: (%d,%d,%v) vs (%d,%d,%v)",
+						workers, i, p.U, p.V, p.Sim, s.U, s.V, s.Sim)
+				}
+			}
+		}
+	}
+}
+
+// TestRaceSimilarityWedgeKernel hammers the wedge-major kernel's two
+// atomic-cursor passes: several concurrent parallel runs over one shared
+// graph, each compared exactly against the serial wedge kernel. The count
+// and fill passes share per-worker scratch and write disjoint CSR slots —
+// any overlap is a race the detector will flag.
+func TestRaceSimilarityWedgeKernel(t *testing.T) {
+	g := raceGraph(4)
+	serial := core.SimilarityWedge(g)
+	var wg sync.WaitGroup
+	for _, workers := range []int{2, 4, 8} {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				pl := core.SimilarityWedgeParallel(g, workers)
+				if len(pl.Pairs) != len(serial.Pairs) {
+					t.Errorf("workers=%d: %d pairs, want %d", workers, len(pl.Pairs), len(serial.Pairs))
+					return
+				}
+				for i := range serial.Pairs {
+					s, p := &serial.Pairs[i], &pl.Pairs[i]
+					if s.U != p.U || s.V != p.V || s.Sim != p.Sim {
+						t.Errorf("workers=%d pair %d: (%d,%d,%v) vs (%d,%d,%v)",
+							workers, i, p.U, p.V, p.Sim, s.U, s.V, s.Sim)
+						return
+					}
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}
+
+// TestRaceSimilarityParallelLegacy keeps race coverage on the legacy
+// hash-map fallback (hierarchical map merges, bucketed pass 3), which only
+// matches serial to float tolerance.
+func TestRaceSimilarityParallelLegacy(t *testing.T) {
+	g := raceGraph(1)
+	serial := core.SimilarityLegacy(g)
+	serial.Sort()
+	for rep := 0; rep < 2; rep++ {
+		for _, workers := range []int{2, 4, 8} {
+			pl := core.SimilarityParallelLegacy(g, workers)
 			pl.Sort()
 			if len(pl.Pairs) != len(serial.Pairs) {
 				t.Fatalf("workers=%d: %d pairs, want %d", workers, len(pl.Pairs), len(serial.Pairs))
