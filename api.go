@@ -15,9 +15,11 @@
 //   - Modeling — CoarseCluster produces coarse-grained dendrograms whose
 //     per-level merge rate is bounded by γ, stopping below φ clusters, with
 //     rollback-based chunk-size estimation.
-//   - Parallelization — SimilarityParallel and CoarseParams.Workers run
-//     both phases multi-threaded (Section VI), including the corrected
-//     replica-merge scheme for array C.
+//   - Parallelization — SimilarityParallel, SweepParallel and
+//     CoarseParams.Workers run both phases multi-threaded (Section VI),
+//     including the corrected replica-merge scheme for array C and a
+//     deterministic reservation engine for the fine-grained sweep whose
+//     merge stream is bitwise identical to serial at any worker count.
 //
 // Dendrogram analysis (cuts, partition density, overlapping communities)
 // and the paper's word-association-network pipeline (tokenizing, stemming,
@@ -190,6 +192,16 @@ func SimilarityParallelLegacy(g *Graph, workers int) *PairList {
 // the same graph.
 func Sweep(g *Graph, pl *PairList) (*Result, error) { return core.Sweep(g, pl) }
 
+// SweepParallel runs the sweeping phase multi-threaded: the sorted pair list
+// is cut into merge-batch windows, each resolved and applied in conflict-free
+// sub-batch rounds over one shared chain. The output is exact — the merge
+// stream is bitwise identical to Sweep and the final partition element-wise
+// equal, for any worker count. The pair list is sorted in place. workers is
+// normalized exactly as in SimilarityParallel.
+func SweepParallel(g *Graph, pl *PairList, workers int) (*Result, error) {
+	return core.SweepParallel(g, pl, workers)
+}
+
 // CompactPairs converts a pair list to the struct-of-arrays layout, roughly
 // halving the pipeline's dominant allocation on large graphs.
 func CompactPairs(pl *PairList) *CompactPairList { return core.Compact(pl) }
@@ -202,20 +214,26 @@ func SweepCompact(g *Graph, c *CompactPairList) (*Result, error) {
 // Cluster is the serial end-to-end pipeline: Similarity then Sweep.
 func Cluster(g *Graph) (*Result, error) { return core.Cluster(g) }
 
-// ClusterParallel runs the parallel initialization phase followed by the
-// serial fine-grained sweep. (Per the paper, only the coarse-grained sweep
-// parallelizes; use CoarseCluster with Workers for a fully parallel run.)
-// workers is normalized exactly as in SimilarityParallel.
+// ClusterParallel runs the fully parallel fine-grained pipeline: the
+// parallel initialization phase followed by the parallel fine-grained sweep.
+// (The paper parallelizes only the coarse-grained sweep; the reservation
+// engine goes beyond it while reproducing the serial result exactly, so this
+// is a drop-in replacement for Cluster.) workers is normalized exactly as in
+// SimilarityParallel.
 func ClusterParallel(g *Graph, workers int) (*Result, error) {
-	return core.Sweep(g, core.SimilarityParallel(g, workers))
+	return core.SweepParallel(g, core.SimilarityParallel(g, workers), workers)
 }
 
 // ClusterInstrumented runs the fine-grained pipeline (parallel
-// initialization when opts.Workers > 1, then the serial sweep) with
-// optional instrumentation: phase wall times and the pairs-processed /
-// chain-rewrite / merge counters land in opts.Recorder.
+// initialization and parallel sweep when opts.Workers > 1, the serial paths
+// otherwise) with optional instrumentation: phase wall times and the
+// pairs-processed / chain-rewrite / merge counters land in opts.Recorder,
+// plus the sweep engine's window/round counters on the parallel path.
 func ClusterInstrumented(g *Graph, opts ClusterOptions) (*Result, error) {
 	pl := core.SimilarityParallelRecorded(g, opts.Workers, opts.Recorder)
+	if opts.Workers > 1 {
+		return core.SweepParallelRecorded(g, pl, opts.Workers, opts.Recorder)
+	}
 	return core.SweepRecorded(g, pl, opts.Recorder)
 }
 

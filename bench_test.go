@@ -308,6 +308,35 @@ func BenchmarkSimilarityParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepParallel is the acceptance benchmark of the parallel
+// fine-grained sweep: the serial merge loop versus the reservation engine at
+// 1 and 8 workers on the heaviest workload. Output is bitwise identical in
+// all three configurations; the lcbench `sweepkernel` experiment records the
+// full thread sweep to BENCH_sweep.json.
+func BenchmarkSweepParallel(b *testing.B) {
+	g := benchGraph(b, 0.01)
+	pl := core.Similarity(g)
+	pl.Sort()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Sweep(g, pl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SweepParallel(g, pl, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPairListSort isolates the K1·log K1 sort that becomes the
 // dominant serial fraction once the wedge kernel shrinks accumulation:
 // the legacy closure-based sort.Slice-equivalent serial path (workers=1)

@@ -36,7 +36,7 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 0, "corpus seed override (0 = preset default)")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		report     = fs.String("report", "", "write a JSON run report with per-experiment phase timings to this file (e.g. BENCH_small.json)")
-		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (e.g. BENCH_similarity.json)")
+		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (BENCH_similarity.json) and sweepkernel (BENCH_sweep.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -363,7 +363,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
 		in      = fs.String("in", "-", "input graph (- for stdin)")
 		algo    = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
-		workers = fs.Int("workers", 1, "worker threads for init (and coarse sweep)")
+		workers = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
 		gamma   = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
 		phi     = fs.Int("phi", 100, "coarse: stop below this many clusters")
 		delta0  = fs.Int64("delta0", 1000, "coarse: initial chunk size")
@@ -432,11 +432,18 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	)
 	switch *algo {
 	case "sweep":
-		res, err := core.SweepRecorded(g, pl, rec)
+		// The parallel engine reproduces the serial merge stream bitwise, so
+		// -workers only changes how the sweep runs, never what it outputs.
+		var res *linkclust.Result
+		if *workers > 1 {
+			res, err = core.SweepParallelRecorded(g, pl, *workers, rec)
+		} else {
+			res, err = core.SweepRecorded(g, pl, rec)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "algorithm      sweep\n")
+		fmt.Fprintf(stdout, "algorithm      sweep (workers=%d)\n", *workers)
 		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
 		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
 		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"testing"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+	"linkclust/internal/planted"
+	"linkclust/internal/rng"
+)
+
+// crossvalGraphs are small enough for the O(m^2) NBM baseline yet varied:
+// random graphs at two densities plus a planted-community benchmark.
+func crossvalGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{
+		"paper-example": graph.PaperExample(),
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		out[string(rune('a'+seed))+"-er-dense"] = graph.ErdosRenyi(16, 0.35, rng.New(seed))
+		out[string(rune('a'+seed))+"-er-sparse"] = graph.ErdosRenyi(24, 0.15, rng.New(seed+100))
+	}
+	pcfg := planted.DefaultConfig()
+	pcfg.Nodes = 30
+	pcfg.Communities = 3
+	bench, err := planted.Generate(pcfg)
+	if err != nil {
+		t.Fatalf("planted: %v", err)
+	}
+	out["planted"] = bench.Graph
+	return out
+}
+
+// TestParallelSweepEqualsBaselines closes the cross-validation promise in
+// DESIGN.md for the parallel engine: the serial sweep, the parallel sweep at
+// several worker counts, NBM, and SLINK must all describe the same
+// single-linkage dendrogram — identical merge heights between the
+// merge-stream algorithms, and identical flat clusterings at a threshold
+// inside every dendrogram layer.
+func TestParallelSweepEqualsBaselines(t *testing.T) {
+	for name, g := range crossvalGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			pl := core.Similarity(g)
+			s := NewEdgeSim(g, pl)
+			serial, err := core.Sweep(g, core.Similarity(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nbm, err := NBM(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slink := SLINK(s)
+
+			// Merge heights: the sweeps and NBM emit one positive-similarity
+			// merge per dendrogram edge, in non-increasing height order.
+			if len(serial.Merges) != len(nbm.Merges) {
+				t.Fatalf("serial sweep %d merges, NBM %d", len(serial.Merges), len(nbm.Merges))
+			}
+			for i := range serial.Merges {
+				if d := serial.Merges[i].Sim - nbm.Merges[i].Sim; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("merge %d height: sweep %v, NBM %v", i, serial.Merges[i].Sim, nbm.Merges[i].Sim)
+				}
+			}
+
+			results := map[string]*core.Result{"serial": serial}
+			for _, workers := range []int{1, 2, 4, 8} {
+				par, err := core.SweepParallel(g, core.Similarity(g), workers)
+				if err != nil {
+					t.Fatalf("T=%d: %v", workers, err)
+				}
+				if len(par.Merges) != len(serial.Merges) {
+					t.Fatalf("T=%d: %d merges, want %d", workers, len(par.Merges), len(serial.Merges))
+				}
+				for i := range serial.Merges {
+					if par.Merges[i].Sim != serial.Merges[i].Sim {
+						t.Fatalf("T=%d merge %d: height %v, want %v", workers, i, par.Merges[i].Sim, serial.Merges[i].Sim)
+					}
+				}
+				results["parallel-"+string(rune('0'+workers))] = par
+			}
+
+			for _, theta := range thresholds(pl) {
+				want := ThresholdComponents(s, theta)
+				for label, res := range results {
+					if got := CutMerges(s.NumEdges(), res.Merges, theta); !samePartition(want, got) {
+						t.Fatalf("theta %v: %s sweep disagrees with ground truth", theta, label)
+					}
+				}
+				if got := CutMerges(s.NumEdges(), nbm.Merges, theta); !samePartition(want, got) {
+					t.Fatalf("theta %v: NBM disagrees with ground truth", theta)
+				}
+				if got := slink.CutSim(theta); !samePartition(want, got) {
+					t.Fatalf("theta %v: SLINK disagrees with ground truth", theta)
+				}
+			}
+		})
+	}
+}

@@ -126,7 +126,9 @@ func SimKernel(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func writeBenchJSON(path string, report *simKernelReport) error {
+// writeBenchJSON writes one linkclust/bench/v1 document (any experiment's
+// report struct) as indented JSON.
+func writeBenchJSON(path string, report any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

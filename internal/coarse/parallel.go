@@ -1,92 +1,24 @@
 package coarse
 
 import (
-	"sync"
-
 	"linkclust/internal/core"
 	"linkclust/internal/obs"
 )
 
 // parallelMergeMinOps is the chunk size below which replica processing is
-// never attempted: each worker pays an O(|E|) clone of array C before doing
-// any work, so a chunk must carry enough merge operations to amortize the
-// fan-out. Chunks under the threshold (and degenerate worker counts) run
-// the plain serial MERGE loop instead.
-const parallelMergeMinOps = 64
+// never attempted; it aliases the shared batch engine's threshold so the
+// coarse sweep's chunk sizing and the engine's fallback agree.
+const parallelMergeMinOps = core.MergeOpsMinReplicated
 
-// parallelMerge processes one chunk's incident edge pairs with the
-// multi-threaded scheme of Section VI-B: each of the workers merges a
-// round-robin partition of ops on its own replica of array C, then the
-// replicas are combined pairwise (and hierarchically) with the corrected
-// core.MergeChains scheme until at most three remain, which are folded by a
-// single worker. The combined array replaces ch's contents and all replica
-// rewrites are added to ch's change counter.
-//
-// The worker count is clamped to len(ops) — tiny chunks previously cloned
-// one full replica per configured worker even when most replicas received
-// no operations at all, paying workers × O(|E|) for near-empty partitions —
-// and chunks below parallelMergeMinOps fall back to serial merging, where
-// the clone cost cannot be amortized. Replica clone/fold costs are recorded
-// into rec when non-nil.
+// parallelMerge processes one chunk's incident edge pairs with the shared
+// replica batch engine (core.MergeOpsReplicated): per-worker replicas of
+// array C merged hierarchically with the corrected Section VI-B scheme.
+// Replica clone/fold costs are recorded into rec when non-nil; the serial
+// fallback (tiny chunks, degenerate worker counts) records nothing.
 func parallelMerge(ch *core.Chain, ops [][2]int32, workers int, rec *obs.Recorder) {
-	if workers > len(ops) {
-		workers = len(ops)
-	}
-	if workers < 2 || len(ops) < parallelMergeMinOps {
-		for _, op := range ops {
-			ch.Merge(op[0], op[1])
-		}
-		return
-	}
-
-	replicas := make([]*core.Chain, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			r := ch.Clone()
-			for i := t; i < len(ops); i += workers {
-				r.Merge(ops[i][0], ops[i][1])
-			}
-			replicas[t] = r
-		}(t)
-	}
-	wg.Wait()
-
-	folds := int64(0)
-	for len(replicas) > 3 {
-		half := len(replicas) / 2
-		for i := 0; i < half; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				core.MergeChains(replicas[2*i], replicas[2*i+1])
-				replicas[2*i].AddChanges(replicas[2*i+1].Changes())
-			}(i)
-		}
-		wg.Wait()
-		folds += int64(half)
-		next := make([]*core.Chain, 0, half+1)
-		for i := 0; i < half; i++ {
-			next = append(next, replicas[2*i])
-		}
-		if len(replicas)%2 == 1 {
-			next = append(next, replicas[len(replicas)-1])
-		}
-		replicas = next
-	}
-	combined := replicas[0]
-	for _, other := range replicas[1:] {
-		core.MergeChains(combined, other)
-		combined.AddChanges(other.Changes())
-		folds++
-	}
-	ch.Restore(combined.Snapshot())
-	ch.AddChanges(combined.Changes())
-
-	if rec != nil {
-		rec.Add(CtrReplicaClones, int64(workers))
+	clones, folds := core.MergeOpsReplicated(ch, ops, workers)
+	if rec != nil && clones > 0 {
+		rec.Add(CtrReplicaClones, clones)
 		rec.Add(CtrReplicaMerges, folds)
 	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import "sync"
+
+// MergeOpsMinReplicated is the op-count threshold below which
+// MergeOpsReplicated never attempts replica processing: each worker pays an
+// O(|E|) clone of array C before doing any work, so a batch must carry
+// enough merge operations to amortize the fan-out. Batches under the
+// threshold (and degenerate worker counts) run the plain serial MERGE loop
+// instead.
+const MergeOpsMinReplicated = 64
+
+// MergeOpsReplicated processes a batch of merge operations with the
+// multi-threaded scheme of Section VI-B: each worker merges a round-robin
+// partition of ops on its own replica of array C, then the replicas are
+// combined pairwise (and hierarchically) with the corrected MergeChains
+// scheme until at most three remain, which are folded by a single worker.
+// The combined array replaces ch's contents and all replica rewrites are
+// added to ch's change counter.
+//
+// This is the shared batch engine of both sweeps: the coarse-grained sweep
+// feeds it whole chunks, and it is the reduction the fine-grained
+// SweepParallel falls back on conceptually — though that path keeps a single
+// shared chain instead (see sweep_parallel.go for why replicas cannot
+// reproduce the serial merge stream bitwise).
+//
+// The worker count is clamped to len(ops) — tiny batches would otherwise
+// clone one full replica per configured worker even when most replicas
+// receive no operations at all, paying workers × O(|E|) for near-empty
+// partitions. It returns the number of replica clones and hierarchical folds
+// performed; both are zero when the serial fallback ran.
+func MergeOpsReplicated(ch *Chain, ops [][2]int32, workers int) (clones, folds int64) {
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers < 2 || len(ops) < MergeOpsMinReplicated {
+		for _, op := range ops {
+			ch.Merge(op[0], op[1])
+		}
+		return 0, 0
+	}
+
+	replicas := make([]*Chain, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := ch.Clone()
+			for i := t; i < len(ops); i += workers {
+				r.Merge(ops[i][0], ops[i][1])
+			}
+			replicas[t] = r
+		}(t)
+	}
+	wg.Wait()
+
+	for len(replicas) > 3 {
+		half := len(replicas) / 2
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				MergeChains(replicas[2*i], replicas[2*i+1])
+				replicas[2*i].AddChanges(replicas[2*i+1].Changes())
+			}(i)
+		}
+		wg.Wait()
+		folds += int64(half)
+		next := make([]*Chain, 0, half+1)
+		for i := 0; i < half; i++ {
+			next = append(next, replicas[2*i])
+		}
+		if len(replicas)%2 == 1 {
+			next = append(next, replicas[len(replicas)-1])
+		}
+		replicas = next
+	}
+	combined := replicas[0]
+	for _, other := range replicas[1:] {
+		MergeChains(combined, other)
+		combined.AddChanges(other.Changes())
+		folds++
+	}
+	ch.Restore(combined.Snapshot())
+	ch.AddChanges(combined.Changes())
+	return int64(workers), folds
+}

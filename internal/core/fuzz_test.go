@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"linkclust/internal/graph"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a small graph: the first
+// byte sets the vertex count (2..24), each following triple (u, v, w) adds
+// one edge with a positive weight. Invalid triples (self-loops, duplicates)
+// are skipped, mirroring how a lenient loader would treat them.
+func fuzzGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return nil
+	}
+	n := 2 + int(data[0])%23
+	b := graph.NewBuilder(n)
+	for i := 1; i+2 < len(data); i += 3 {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		w := 0.25 + float64(data[i+2]%8)/4
+		if u == v {
+			continue
+		}
+		_ = b.AddEdge(u, v, w) // duplicates rejected; that's fine
+	}
+	if b.NumEdges() == 0 {
+		return nil
+	}
+	return b.Build(nil)
+}
+
+// FuzzSweep drives serial and parallel sweeps over arbitrary small graphs
+// and checks the structural invariants of Algorithm 2's output:
+//
+//   - every chain F(i) terminates at a self-loop, with pointers that never
+//     increase (writes to array C always write cluster minima),
+//   - every merge event has Into == min(A, B) and consecutive levels,
+//   - merge similarities are non-increasing along the level sequence
+//     (the pair list is swept in descending similarity order),
+//   - the parallel engine reproduces the serial stream exactly at several
+//     worker counts.
+func FuzzSweep(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 1, 2, 3, 1, 0, 2, 1})
+	f.Add([]byte{16, 0, 1, 0, 1, 2, 0, 2, 0, 0})
+	f.Add([]byte{2, 0, 1, 7})
+	f.Add([]byte{24, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		serial, err := Sweep(g, Similarity(g))
+		if err != nil {
+			t.Fatalf("serial sweep rejected its own similarity output: %v", err)
+		}
+		c := serial.Chain.c
+		for i := range c {
+			if c[i] > int32(i) {
+				t.Fatalf("chain invariant violated: c[%d] = %d > %d", i, c[i], i)
+			}
+			x := int32(i)
+			for steps := 0; c[x] != x; steps++ {
+				if steps > len(c) {
+					t.Fatalf("chain from %d does not terminate at a self-loop", i)
+				}
+				if c[x] > x {
+					t.Fatalf("chain from %d increases: c[%d] = %d", i, x, c[x])
+				}
+				x = c[x]
+			}
+		}
+		for i, m := range serial.Merges {
+			into := m.A
+			if m.B < into {
+				into = m.B
+			}
+			if m.Into != into {
+				t.Fatalf("merge %d: Into = %d, want min(%d,%d)", i, m.Into, m.A, m.B)
+			}
+			if m.Level != int32(i+1) {
+				t.Fatalf("merge %d: Level = %d, want %d", i, m.Level, i+1)
+			}
+			if i > 0 && m.Sim > serial.Merges[i-1].Sim {
+				t.Fatalf("merge %d: similarity rose %v -> %v", i, serial.Merges[i-1].Sim, m.Sim)
+			}
+		}
+		for _, workers := range []int{1, 2, 5, 8} {
+			par, err := SweepParallel(g, Similarity(g), workers)
+			if err != nil {
+				t.Fatalf("T=%d: %v", workers, err)
+			}
+			requireIdenticalSweep(t, "fuzz parallel vs serial", par, serial)
+		}
+	})
+}

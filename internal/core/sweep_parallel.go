@@ -1,0 +1,682 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
+)
+
+// Counter names recorded by the parallel fine-grained sweep.
+const (
+	// CtrSweepWindows counts merge-batch windows cut from the sorted list.
+	CtrSweepWindows = "sweep.windows"
+	// CtrSweepRounds counts conflict-free sub-batch rounds across windows.
+	CtrSweepRounds = "sweep.rounds"
+	// CtrSweepDeferrals counts operations pushed to a later round because a
+	// cluster they touch was already reserved in the current one.
+	CtrSweepDeferrals = "sweep.deferrals"
+	// CtrSweepNoopDrops counts operations retired without a merge because
+	// both edges already shared a cluster when they were scanned.
+	CtrSweepNoopDrops = "sweep.noop_drops"
+	// CtrSweepSerialDrains counts windows whose conflict-heavy residue was
+	// finished by the exact serial drain instead of further rounds.
+	CtrSweepSerialDrains = "sweep.serial_drains"
+	// CtrSweepFlattens counts periodic whole-chain flatten passes.
+	CtrSweepFlattens = "sweep.flattens"
+)
+
+// Engine tuning. Every threshold is a function of operation counts only —
+// never of the worker count — so the engine's control flow (which operations
+// are selected, deferred, dropped, or drained in which round) is identical
+// for any number of workers. The merge stream's bitwise equality across
+// worker counts follows by construction: all scheduling decisions happen in
+// the serial claim scan.
+const (
+	// sweepWindowOps is the target operation count of one merge batch.
+	// Windows never split a vertex pair, so the last pair may overshoot.
+	sweepWindowOps = 8192
+	// sweepDrainOps is the pending-residue size below which a window is
+	// finished by the serial drain: conflict-heavy tails retire ~1 op per
+	// round, where barrier overhead would dominate.
+	sweepDrainOps = 96
+	// sweepParMinOps is the per-phase work floor for goroutine fan-out;
+	// smaller phases run inline on the calling goroutine.
+	sweepParMinOps = 512
+	// sweepFlattenOps is the operation interval of the periodic whole-chain
+	// flatten. The serial sweep path-compresses on every MERGE — 99%+ of
+	// which are no-ops on real workloads — while the engine retires
+	// pre-window no-ops during resolution without touching the chain, so an
+	// explicit flatten keeps find paths short. The trigger counts
+	// operations, never workers or wall time, so flatten points (and the
+	// chain states they produce) are identical for any worker count.
+	sweepFlattenOps = 1 << 19
+)
+
+// SweepParallel runs Algorithm 2 multi-threaded over merge batches: the
+// sorted pair list is cut into windows of incident-edge operations, each
+// window is processed in conflict-free sub-batch rounds (deterministic
+// reservations in serial-index order), and the selected operations of a
+// round apply concurrently to one shared chain — their clusters are pairwise
+// disjoint, so their writes are too. The pair list is sorted in place.
+//
+// The result is exact, not just dendrogram-equivalent: the merge stream
+// (Level, A, B, Into, Sim per event, in order) is bitwise identical to the
+// serial Sweep for any worker count, and the final partition (NumClusters,
+// Chain.Assignments) matches element-wise. Only the internal pointer
+// structure of array C and its change counter may differ: the serial sweep
+// path-compresses on every MERGE including no-ops, while the engine retires
+// pre-window no-ops without touching the chain and keeps it flat with
+// periodic count-triggered flatten passes, so the two take different rewrite
+// sequences to the same partition.
+//
+// The ISSUE's replica scheme (per-worker clones folded with MergeChains, as
+// the coarse sweep uses via MergeOpsReplicated) cannot achieve stream
+// exactness: replica folds only reveal partition diffs, losing which
+// operation caused which merge and the serial (A, B) operand order. The
+// reservation engine keeps a single chain precisely so every event is
+// attributed at its serial position.
+func SweepParallel(g *graph.Graph, pl *PairList, workers int) (*Result, error) {
+	return SweepParallelRecorded(g, pl, workers, nil)
+}
+
+// SweepParallelRecorded is SweepParallel with optional instrumentation:
+// sort/merge phase timers plus the serial sweep's counters and the engine's
+// window/round/deferral counters are recorded into rec. A nil rec records
+// nothing and adds no measurable overhead.
+func SweepParallelRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (*Result, error) {
+	workers = par.Normalize(workers)
+	end := rec.Phase("sweep")
+	defer end()
+	endSort := rec.Phase("sort")
+	pl.SortWorkers(workers)
+	endSort()
+	endMerge := rec.Phase("merge")
+	defer endMerge()
+
+	e := &sweepEngine{g: g, pl: pl, workers: workers}
+	res, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Add(CtrSweepPairsProcessed, res.PairsProcessed)
+		rec.Add(CtrSweepChainRewrites, res.Chain.Changes())
+		rec.Add(CtrSweepMerges, int64(len(res.Merges)))
+		rec.Add(CtrSweepWindows, e.windows)
+		rec.Add(CtrSweepRounds, e.rounds)
+		rec.Add(CtrSweepDeferrals, e.deferrals)
+		rec.Add(CtrSweepNoopDrops, e.drops)
+		rec.Add(CtrSweepSerialDrains, e.drains)
+		rec.Add(CtrSweepFlattens, e.flattens)
+	}
+	return res, nil
+}
+
+// sweepEngine holds the shared chain, the per-window operation buffers
+// (reused across windows), and the cluster reservation table.
+type sweepEngine struct {
+	g       *graph.Graph
+	pl      *PairList
+	ch      *Chain
+	workers int
+	res     *Result
+
+	// Flat CSR copy of the adjacency with neighbor id and edge id packed
+	// into one uint64 (id in the high half so packed order = neighbor
+	// order). graph.Half is 24 bytes, so probing To fields during
+	// resolution touches a cache line per ~2.6 entries; the packed copy
+	// fits 8 per line and the final probe's line already holds the edge id.
+	// Rebuilt in O(|V|+|E|) per sweep.
+	adjOff []int32
+	adjTE  []uint64
+
+	// Survivor arrays: one entry per operation that was still live (edges in
+	// different clusters) against the pre-window chain state. The 99%+ of
+	// operations that are already no-ops before their window starts never
+	// reach these — resolution drops them on the spot, which is exact
+	// because cluster merging is monotone: edges sharing a cluster before
+	// the window still share it at the op's serial position.
+	sIdx   []int32      // survivor -> op index within the window
+	e1, e2 []int32      // resolved incident edge ids, per survivor
+	c1, c2 []int32      // cluster ids from the round's find phase
+	evA    []int32      // merge operand A per survivor; -1 marks "no event"
+	evB    []int32      // merge operand B per survivor
+	pend   []int32      // survivors still pending in the current window
+	next   []int32      // pending list under construction for the next round
+	sel    []int32      // survivors selected by the current round's scan
+	offs   []int32      // per-pair op offsets within the window
+	wbuf   []survivorBuf // per-worker survivor staging buffers
+	parChg []int64      // per-worker change counts of the apply phase
+
+	claim []int64 // cluster id -> generation that last reserved it
+	gen   int64   // current reservation generation (bumped per round)
+
+	opsSinceFlatten int64
+
+	windows, rounds, deferrals, drops, drains, flattens int64
+
+	errMu sync.Mutex
+	errOp int
+	err   error
+}
+
+// survivorBuf stages one resolution worker's surviving operations. Workers
+// cover contiguous, ascending op ranges, so concatenating the buffers in
+// worker order restores serial op order.
+type survivorBuf struct {
+	idx    []int32
+	e1, e2 []int32
+	c1, c2 []int32
+	drops  int64
+}
+
+func (b *survivorBuf) reset() {
+	b.idx = b.idx[:0]
+	b.e1, b.e2 = b.e1[:0], b.e2[:0]
+	b.c1, b.c2 = b.c1[:0], b.c2[:0]
+	b.drops = 0
+}
+
+func (e *sweepEngine) run() (*Result, error) {
+	m := e.g.NumEdges()
+	e.ch = NewChain(m)
+	e.res = &Result{Chain: e.ch}
+	e.claim = make([]int64, m)
+	e.parChg = make([]int64, e.workers)
+	e.wbuf = make([]survivorBuf, e.workers)
+	e.buildCSR()
+	pairs := e.pl.Pairs
+	for p := 0; p < len(pairs); {
+		// Cut one window: pairs [p, q) carrying >= sweepWindowOps incident
+		// operations (never splitting a pair), with per-pair op offsets for
+		// the parallel fill.
+		w := 0
+		q := p
+		e.offs = e.offs[:0]
+		for q < len(pairs) && w < sweepWindowOps {
+			e.offs = append(e.offs, int32(w))
+			w += len(pairs[q].Common)
+			q++
+		}
+		e.offs = append(e.offs, int32(w))
+		if w > 0 {
+			if err := e.window(p, q, w); err != nil {
+				return nil, err
+			}
+			e.res.PairsProcessed += int64(w)
+			e.windows++
+			e.opsSinceFlatten += int64(w)
+			if e.opsSinceFlatten >= sweepFlattenOps {
+				e.flatten()
+				e.opsSinceFlatten = 0
+			}
+		}
+		p = q
+	}
+	return e.res, nil
+}
+
+// flatten rewrites every chain entry to point directly at its cluster
+// terminal. A single ascending pass suffices: writes preserve c[i] <= i, so
+// when entry i is reached every entry below it is already flat and c[c[i]]
+// is i's terminal.
+func (e *sweepEngine) flatten() {
+	c := e.ch.c
+	var changes int64
+	for i := range c {
+		if r := c[c[i]]; c[i] != r {
+			c[i] = r
+			changes++
+		}
+	}
+	e.ch.changes += changes
+	e.flattens++
+}
+
+// window processes ops [0, w) resolved from pairs [p0, p1) to completion and
+// emits their merge events in serial operation order. Only the survivors of
+// resolution (live against the pre-window state) enter the round loop.
+func (e *sweepEngine) window(p0, p1, w int) error {
+	ns := e.resolve(p0, p1, w)
+	if e.err != nil {
+		return e.err
+	}
+	if cap(e.evA) < ns {
+		e.evA = make([]int32, ns)
+		e.evB = make([]int32, ns)
+	}
+	e.evA, e.evB = e.evA[:ns], e.evB[:ns]
+	pend := e.pend[:0]
+	for j := 0; j < ns; j++ {
+		pend = append(pend, int32(j))
+		e.evA[j] = -1
+	}
+	first := true
+	for len(pend) > 0 {
+		e.rounds++
+		if len(pend) <= sweepDrainOps {
+			e.drain(pend)
+			e.drains++
+			break
+		}
+		// Round 1's find is fused into resolution (the chain is quiescent
+		// there and round 1's pre-round state is the pre-window state).
+		if !first {
+			e.find(pend)
+		}
+		first = false
+		sel := e.scan(pend)
+		e.apply(sel)
+		pend, e.next = e.next, pend
+	}
+	e.pend = pend[:0]
+	// Emission in op order restores the serial stream: an op selected in a
+	// late round may precede (in serial index) one selected earlier, and the
+	// disjoint-cluster reservation makes their applications commute. The
+	// survivor list is sorted by op index, so a single cursor pairs each
+	// event with its pair's similarity via the per-pair op offsets.
+	res := e.res
+	pairs := e.pl.Pairs
+	cur := 0
+	for pi := p0; pi < p1 && cur < ns; pi++ {
+		sim := pairs[pi].Sim
+		lim := e.offs[pi-p0+1]
+		for cur < ns && e.sIdx[cur] < lim {
+			a := e.evA[cur]
+			if a < 0 {
+				cur++
+				continue
+			}
+			b := e.evB[cur]
+			into := a
+			if b < into {
+				into = b
+			}
+			res.Levels++
+			res.Merges = append(res.Merges, Merge{
+				Level: res.Levels,
+				A:     a,
+				B:     b,
+				Into:  into,
+				Sim:   sim,
+			})
+			cur++
+		}
+	}
+	return nil
+}
+
+// resolve computes the window's operations — for every pair and every common
+// neighbor k, the ids of edges (U, k) and (V, k) plus their pre-window
+// cluster terminals — and keeps only the survivors: ops whose edges are in
+// different clusters. Pairs partition contiguously across workers by op
+// offsets; within a pair the sorted Common list is merged against the sorted
+// packed adjacency with a galloping scan, replacing the serial sweep's two
+// binary searches per operation. Returns the survivor count after
+// concatenating the worker buffers in op order into the shared arrays.
+func (e *sweepEngine) resolve(p0, p1, w int) int {
+	np := p1 - p0
+	used := 0
+	if w < sweepParMinOps || e.workers < 2 {
+		e.wbuf[0].reset()
+		e.resolveRange(p0, p0, p1, &e.wbuf[0])
+		used = 1
+	} else {
+		var wg sync.WaitGroup
+		prev := 0
+		for t := 0; t < e.workers && prev < np; t++ {
+			target := w * (t + 1) / e.workers
+			end := prev
+			for end < np && int(e.offs[end]) < target {
+				end++
+			}
+			if t == e.workers-1 {
+				end = np
+			}
+			if end == prev {
+				continue
+			}
+			b := &e.wbuf[used]
+			b.reset()
+			used++
+			wg.Add(1)
+			go func(lo, hi int, b *survivorBuf) {
+				defer wg.Done()
+				e.resolveRange(p0, lo, hi, b)
+			}(p0+prev, p0+end, b)
+			prev = end
+		}
+		wg.Wait()
+	}
+	e.sIdx = e.sIdx[:0]
+	e.e1, e.e2 = e.e1[:0], e.e2[:0]
+	e.c1, e.c2 = e.c1[:0], e.c2[:0]
+	for i := 0; i < used; i++ {
+		b := &e.wbuf[i]
+		e.drops += b.drops
+		e.sIdx = append(e.sIdx, b.idx...)
+		e.e1 = append(e.e1, b.e1...)
+		e.e2 = append(e.e2, b.e2...)
+		e.c1 = append(e.c1, b.c1...)
+		e.c2 = append(e.c2, b.c2...)
+	}
+	return len(e.sIdx)
+}
+
+// buildCSR flattens the adjacency into the packed resolution layout.
+func (e *sweepEngine) buildCSR() {
+	n := e.g.NumVertices()
+	e.adjOff = make([]int32, n+1)
+	e.adjTE = make([]uint64, 2*e.g.NumEdges())
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		e.adjOff[v] = pos
+		for _, h := range e.g.Neighbors(v) {
+			e.adjTE[pos] = uint64(uint32(h.To))<<32 | uint64(uint32(h.Edge))
+			pos++
+		}
+	}
+	e.adjOff[n] = pos
+}
+
+func (e *sweepEngine) resolveRange(p0, lo, hi int, b *survivorBuf) {
+	pairs := e.pl.Pairs
+	adjOff, adjTE := e.adjOff, e.adjTE
+	c := e.ch.c
+	drops := int64(0)
+	off := int(e.offs[lo-p0])
+	for pi := lo; pi < hi; pi++ {
+		pr := &pairs[pi]
+		tu := adjTE[adjOff[pr.U]:adjOff[pr.U+1]]
+		tv := adjTE[adjOff[pr.V]:adjOff[pr.V+1]]
+		iu, iv := 0, 0
+		for _, k := range pr.Common {
+			// The gallop is inlined by hand on both sides: at two calls
+			// per incident pair this is the innermost kernel of the whole
+			// sweep, and the call overhead alone is measurable.
+			key := uint64(uint32(k)) << 32
+			for iu < len(tu) && tu[iu]>>32 < uint64(uint32(k)) {
+				step := 1
+				for iu+step < len(tu) && tu[iu+step]>>32 < uint64(uint32(k)) {
+					iu += step
+					step <<= 1
+				}
+				glo, ghi := iu+1, iu+step
+				if ghi > len(tu) {
+					ghi = len(tu)
+				}
+				for glo < ghi {
+					mid := int(uint(glo+ghi) >> 1)
+					if tu[mid]>>32 < uint64(uint32(k)) {
+						glo = mid + 1
+					} else {
+						ghi = mid
+					}
+				}
+				iu = glo
+				break
+			}
+			if iu >= len(tu) || tu[iu]&^uint64(1<<32-1) != key {
+				e.fail(pi, off, k)
+				return
+			}
+			e1 := int32(uint32(tu[iu]))
+			for iv < len(tv) && tv[iv]>>32 < uint64(uint32(k)) {
+				step := 1
+				for iv+step < len(tv) && tv[iv+step]>>32 < uint64(uint32(k)) {
+					iv += step
+					step <<= 1
+				}
+				glo, ghi := iv+1, iv+step
+				if ghi > len(tv) {
+					ghi = len(tv)
+				}
+				for glo < ghi {
+					mid := int(uint(glo+ghi) >> 1)
+					if tv[mid]>>32 < uint64(uint32(k)) {
+						glo = mid + 1
+					} else {
+						ghi = mid
+					}
+				}
+				iv = glo
+				break
+			}
+			if iv >= len(tv) || tv[iv]&^uint64(1<<32-1) != key {
+				e.fail(pi, off, k)
+				return
+			}
+			e2 := int32(uint32(tv[iv]))
+			// Fused round-1 find, while e1/e2 are still in registers. Equal
+			// terminals against the pre-window state mean the op is a no-op
+			// at its serial position too (merging is monotone), so it is
+			// retired here and never enters the round machinery.
+			x := e1
+			for c[x] != x {
+				x = c[x]
+			}
+			y := e2
+			for c[y] != y {
+				y = c[y]
+			}
+			if x == y {
+				drops++
+			} else {
+				b.idx = append(b.idx, int32(off))
+				b.e1 = append(b.e1, e1)
+				b.e2 = append(b.e2, e2)
+				b.c1 = append(b.c1, x)
+				b.c2 = append(b.c2, y)
+			}
+			off++
+			iu++
+			iv++
+		}
+	}
+	b.drops = drops
+}
+
+// fail records a resolution failure, keeping the first in serial op order so
+// the reported error matches the serial sweep's.
+func (e *sweepEngine) fail(pi, op int, k int32) {
+	e.errMu.Lock()
+	if e.err == nil || op < e.errOp {
+		pr := &e.pl.Pairs[pi]
+		e.errOp = op
+		e.err = fmt.Errorf("core: pair (%d,%d) common neighbor %d has no incident edges in graph", pr.U, pr.V, k)
+	}
+	e.errMu.Unlock()
+}
+
+// gallopTo locates neighbor k in a sorted neighbor-id array, starting from
+// index from: an exponential probe bounds the range, a binary search pins
+// it. Successive k values are ascending, so resuming from the previous match
+// makes a whole pair's lookups O(|Common| · log(gap)) with strong locality
+// instead of |Common| full binary searches.
+func gallopTo(to []int32, from int, k int32) (pos int, ok bool) {
+	i := from
+	if i < len(to) && to[i] < k {
+		step := 1
+		for i+step < len(to) && to[i+step] < k {
+			i += step
+			step <<= 1
+		}
+		lo, hi := i+1, i+step
+		if hi > len(to) {
+			hi = len(to)
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if to[mid] < k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		i = lo
+	}
+	if i < len(to) && to[i] == k {
+		return i, true
+	}
+	return i, false
+}
+
+// find computes the pre-round cluster ids of every pending op. It is
+// read-only on the shared chain, so the fan-out is race-free.
+func (e *sweepEngine) find(pend []int32) {
+	c := e.ch.c
+	body := func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			j := pend[x]
+			i := e.e1[j]
+			for c[i] != i {
+				i = c[i]
+			}
+			e.c1[j] = i
+			i = e.e2[j]
+			for c[i] != i {
+				i = c[i]
+			}
+			e.c2[j] = i
+		}
+	}
+	if len(pend) < sweepParMinOps || e.workers < 2 {
+		body(0, len(pend))
+		return
+	}
+	par.Do(len(pend), e.workers, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// scan is the serial heart of a round: walking pending ops in serial-index
+// order, it drops no-ops, reserves the two clusters of every live op, and
+// selects the ops whose clusters were both free. A conflicting op is
+// deferred to the next round but still reserves its clusters — that is the
+// per-cluster FIFO (by serial index) that makes every selected op's operand
+// pair equal what the serial sweep would have computed at that op's turn:
+// no later op can touch a cluster while an earlier op still has business
+// with it, and merges of disjoint clusters commute.
+//
+// The scan also path-compresses both find paths to their current terminals.
+// Compression here is safe (the scan runs alone between the find and apply
+// barriers) and partition-preserving, and because it happens in the serial
+// scan it is identical for any worker count. The bulk of the chain — edges
+// whose ops were retired during resolution and never reach a scan — is kept
+// flat by the periodic whole-chain flatten instead (see sweepFlattenOps).
+func (e *sweepEngine) scan(pend []int32) []int32 {
+	e.gen++
+	gen := e.gen
+	c := e.ch.c
+	claim := e.claim
+	sel := e.sel[:0]
+	nxt := e.next[:0]
+	var changes int64
+	for _, j := range pend {
+		c1, c2 := e.c1[j], e.c2[j]
+		changes += compressPath(c, e.e1[j], c1)
+		changes += compressPath(c, e.e2[j], c2)
+		if c1 == c2 {
+			e.drops++
+			continue
+		}
+		if claim[c1] == gen || claim[c2] == gen {
+			claim[c1], claim[c2] = gen, gen
+			nxt = append(nxt, j)
+			e.deferrals++
+			continue
+		}
+		claim[c1], claim[c2] = gen, gen
+		e.evA[j], e.evB[j] = c1, c2
+		sel = append(sel, j)
+	}
+	e.ch.changes += changes
+	e.sel = sel
+	e.next = nxt
+	return sel
+}
+
+// apply performs the selected merges on the shared chain. Selection
+// guarantees pairwise-disjoint cluster pairs, chain pointers never leave
+// their own cluster, and the scan already compressed both paths — so each
+// op rewrites at most the four entries {e1, c1, e2, c2}, all within its own
+// two clusters, and concurrent ops touch disjoint memory.
+func (e *sweepEngine) apply(sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	c := e.ch.c
+	body := func(lo, hi int) int64 {
+		var n int64
+		for x := lo; x < hi; x++ {
+			j := sel[x]
+			cmin := e.evA[j]
+			if b := e.evB[j]; b < cmin {
+				cmin = b
+			}
+			n += compressPath(c, e.e1[j], cmin)
+			n += compressPath(c, e.e2[j], cmin)
+		}
+		return n
+	}
+	if len(sel) < sweepParMinOps/8 || e.workers < 2 {
+		e.ch.changes += body(0, len(sel))
+		return
+	}
+	par.Do(len(sel), e.workers, func(t, lo, hi int) { e.parChg[t] = body(lo, hi) })
+	for t := range e.parChg {
+		e.ch.changes += e.parChg[t]
+		e.parChg[t] = 0
+	}
+}
+
+// drain retires a window's residue with exact serial semantics: find, merge,
+// record — one op at a time, in serial-index order. Its trigger is a pure
+// op-count threshold, so whether a window drains is worker-independent.
+func (e *sweepEngine) drain(pend []int32) {
+	c := e.ch.c
+	var changes int64
+	for _, j := range pend {
+		c1 := chainFind(c, e.e1[j])
+		c2 := chainFind(c, e.e2[j])
+		if c1 == c2 {
+			changes += compressPath(c, e.e1[j], c1)
+			changes += compressPath(c, e.e2[j], c2)
+			e.drops++
+			continue
+		}
+		cmin := c1
+		if c2 < cmin {
+			cmin = c2
+		}
+		changes += compressPath(c, e.e1[j], cmin)
+		changes += compressPath(c, e.e2[j], cmin)
+		e.evA[j], e.evB[j] = c1, c2
+	}
+	e.ch.changes += changes
+}
+
+// chainFind is Chain.Find on the raw array.
+func chainFind(c []int32, i int32) int32 {
+	for c[i] != i {
+		i = c[i]
+	}
+	return i
+}
+
+// compressPath rewrites every entry on the chain from i to root (writing
+// root itself only if it does not already point there), reading each next
+// pointer before overwriting it. It returns the number of rewrites. With
+// root = the path's own terminal this is pure path compression; with root =
+// the minimum of two clusters it is the MERGE write pass.
+func compressPath(c []int32, i, root int32) int64 {
+	var n int64
+	for c[i] != root {
+		next := c[i]
+		c[i] = root
+		i = next
+		n++
+	}
+	return n
+}

@@ -7,7 +7,10 @@
 // normalize first, then branch.
 package par
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+)
 
 // MinCap is the floor of the default worker cap. Oversubscription up to
 // MinCap goroutines is allowed even on machines with fewer cores: goroutine
@@ -44,4 +47,33 @@ func NormalizeCap(n, cap int) int {
 		return cap
 	}
 	return n
+}
+
+// Do partitions [0, n) into one contiguous range per worker and invokes fn
+// concurrently, blocking until every range completes. The worker count is
+// normalized and additionally clamped to n, so fn never receives an empty
+// range; worker ids are dense in [0, workers). With one worker (or n <= 1)
+// fn runs on the calling goroutine.
+func Do(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		lo, hi := n*t/workers, n*(t+1)/workers
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			fn(t, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
 }

@@ -137,6 +137,91 @@ func TestRaceCoarseSweepReplicaMerge(t *testing.T) {
 	}
 }
 
+// TestRaceSweepParallel runs concurrent parallel fine-grained sweeps — each
+// on its own PairList, all recording into one shared Recorder — and checks
+// every merge stream bitwise against the serial sweep. This sweeps the
+// engine's resolve/find/apply fan-out and the reservation scan under the
+// race detector while the Recorder takes counter and phase writes from all
+// pipelines at once.
+func TestRaceSweepParallel(t *testing.T) {
+	g := raceGraph(5)
+	serial, err := core.Sweep(g, core.Similarity(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	var wg sync.WaitGroup
+	runs := 0
+	for rep := 0; rep < 3; rep++ {
+		for _, workers := range []int{2, 4, 8} {
+			runs++
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				res, err := core.SweepParallelRecorded(g, core.Similarity(g), workers, rec)
+				if err != nil {
+					t.Errorf("workers=%d: %v", workers, err)
+					return
+				}
+				if len(res.Merges) != len(serial.Merges) {
+					t.Errorf("workers=%d: %d merges, want %d", workers, len(res.Merges), len(serial.Merges))
+					return
+				}
+				for i := range serial.Merges {
+					if res.Merges[i] != serial.Merges[i] {
+						t.Errorf("workers=%d merge %d: %+v, want %+v", workers, i, res.Merges[i], serial.Merges[i])
+						return
+					}
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got, want := rec.Counter(core.CtrSweepMerges), int64(runs)*int64(len(serial.Merges)); got != want {
+		t.Fatalf("shared counter %s = %d, want %d", core.CtrSweepMerges, got, want)
+	}
+}
+
+// TestSweepSortsPairListInPlace documents a sharing hazard: both sweeps sort
+// the PairList in place as their first act, so callers running concurrent
+// sweeps must hand each its own copy (as the tests above do via separate
+// Similarity calls) — sharing one list across goroutines is a data race even
+// though the sweeps never write the pairs themselves afterwards.
+func TestSweepSortsPairListInPlace(t *testing.T) {
+	g := raceGraph(6)
+	pl := core.Similarity(g)
+	presorted := true
+	for i := 1; i < len(pl.Pairs); i++ {
+		if pl.Pairs[i].Sim > pl.Pairs[i-1].Sim {
+			presorted = false
+			break
+		}
+	}
+	if presorted {
+		t.Fatal("similarity output arrived pre-sorted; pick a graph that actually exercises the in-place sort")
+	}
+	if _, err := core.Sweep(g, pl); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pl.Pairs); i++ {
+		if pl.Pairs[i].Sim > pl.Pairs[i-1].Sim {
+			t.Fatalf("caller's list not sorted in place at %d", i)
+		}
+	}
+	pl2 := core.Similarity(g)
+	if _, err := core.SweepParallel(g, pl2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pl2.Pairs); i++ {
+		if pl2.Pairs[i].Sim > pl2.Pairs[i-1].Sim {
+			t.Fatalf("caller's list not sorted in place by parallel sweep at %d", i)
+		}
+	}
+}
+
 // TestRaceSharedRecorder runs several instrumented pipelines concurrently
 // against one Recorder: counter writes from all goroutines must be
 // race-free and sum exactly, and interleaved Phase/end pairs from different
