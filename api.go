@@ -202,6 +202,18 @@ func SweepParallel(g *Graph, pl *PairList, workers int) (*Result, error) {
 	return core.SweepParallel(g, pl, workers)
 }
 
+// SweepPipelined runs the sweeping phase with the sort overlapped: the pair
+// list is MSD-radix partitioned on its similarity bits into buckets that
+// descend in similarity across bucket order, and the reservation engine of
+// SweepParallel consumes bucket k (sorted on arrival) while buckets k+1, ...
+// are still being sorted — removing the monolithic Sort barrier between the
+// two phases. The output is exact: the merge stream is bitwise identical to
+// Sweep and the pair list finishes fully sorted in place, for any worker
+// count. workers is normalized exactly as in SimilarityParallel.
+func SweepPipelined(g *Graph, pl *PairList, workers int) (*Result, error) {
+	return core.SweepPipelined(g, pl, workers)
+}
+
 // CompactPairs converts a pair list to the struct-of-arrays layout, roughly
 // halving the pipeline's dominant allocation on large graphs.
 func CompactPairs(pl *PairList) *CompactPairList { return core.Compact(pl) }
@@ -222,6 +234,16 @@ func Cluster(g *Graph) (*Result, error) { return core.Cluster(g) }
 // SimilarityParallel.
 func ClusterParallel(g *Graph, workers int) (*Result, error) {
 	return core.SweepParallel(g, core.SimilarityParallel(g, workers), workers)
+}
+
+// ClusterPipelined runs the fully pipelined fine-grained pipeline: the
+// parallel initialization phase followed by the sort-overlapped sweep of
+// SweepPipelined. Output is bitwise identical to Cluster and ClusterParallel
+// for any worker count; on multi-core machines it additionally hides the
+// K1·log K1 sort behind merge wall-clock. workers is normalized exactly as
+// in SimilarityParallel.
+func ClusterPipelined(g *Graph, workers int) (*Result, error) {
+	return core.ClusterPipelined(g, workers)
 }
 
 // ClusterInstrumented runs the fine-grained pipeline (parallel

@@ -36,10 +36,24 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 0, "corpus seed override (0 = preset default)")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		report     = fs.String("report", "", "write a JSON run report with per-experiment phase timings to this file (e.g. BENCH_small.json)")
-		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (BENCH_similarity.json) and sweepkernel (BENCH_sweep.json)")
+		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (BENCH_similarity.json), sweepkernel (BENCH_sweep.json) and pipeline (BENCH_pipeline.json)")
+		validate   = fs.Bool("validate", false, "validate the BENCH_*.json files given as arguments against the linkclust/bench/v1 schema and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *validate {
+		paths := fs.Args()
+		if len(paths) == 0 {
+			return fmt.Errorf("-validate needs at least one BENCH_*.json path")
+		}
+		for _, p := range paths {
+			if err := bench.ValidateBenchFile(p); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s: valid %s document\n", p, "linkclust/bench/v1")
+		}
+		return nil
 	}
 	if *list {
 		for _, e := range bench.Experiments() {

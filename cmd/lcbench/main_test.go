@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -43,5 +44,39 @@ func TestRunTheoryExperiment(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestPipelineExperimentWritesValidBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/BENCH_pipeline.json"
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "pipeline", "-repeats", "1", "-benchjson", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline:", "bench report written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "valid linkclust/bench/v1 document") {
+		t.Fatalf("validate output:\n%s", out.String())
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-validate"}, &out); err == nil {
+		t.Fatal("-validate with no paths accepted")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"schema":"wrong/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", bad}, &out); err == nil {
+		t.Fatal("bad schema accepted")
 	}
 }

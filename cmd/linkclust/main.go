@@ -361,24 +361,28 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "-", "input graph (- for stdin)")
-		algo    = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
-		workers = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
-		gamma   = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
-		phi     = fs.Int("phi", 100, "coarse: stop below this many clusters")
-		delta0  = fs.Int64("delta0", 1000, "coarse: initial chunk size")
-		eta0    = fs.Float64("eta0", 8, "coarse: head-mode growth factor")
-		comms   = fs.Int("communities", 0, "print the N largest communities at the best-density cut")
-		merges  = fs.Bool("merges", false, "print the merge stream")
-		newick  = fs.String("newick", "", "write the dendrogram to this file in Newick format")
-		pairs   = fs.String("pairs", "", "read the similarity pair list from this file (skips phase I)")
-		saveTo  = fs.String("save-merges", "", "write the merge stream to this file in binary format")
-		dot     = fs.String("dot", "", "write a Graphviz DOT file with edges colored by best-cut community")
-		report  = fs.String("report", "", "write a JSON run report (phase timers, counters, memory deltas) to this file")
-		prof    = fs.String("pprof", "", "write CPU/heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
+		in       = fs.String("in", "-", "input graph (- for stdin)")
+		algo     = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
+		workers  = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
+		pipeline = fs.Bool("pipeline", false, "sweep: overlap sorting with merging (output unchanged)")
+		gamma    = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
+		phi      = fs.Int("phi", 100, "coarse: stop below this many clusters")
+		delta0   = fs.Int64("delta0", 1000, "coarse: initial chunk size")
+		eta0     = fs.Float64("eta0", 8, "coarse: head-mode growth factor")
+		comms    = fs.Int("communities", 0, "print the N largest communities at the best-density cut")
+		merges   = fs.Bool("merges", false, "print the merge stream")
+		newick   = fs.String("newick", "", "write the dendrogram to this file in Newick format")
+		pairs    = fs.String("pairs", "", "read the similarity pair list from this file (skips phase I)")
+		saveTo   = fs.String("save-merges", "", "write the merge stream to this file in binary format")
+		dot      = fs.String("dot", "", "write a Graphviz DOT file with edges colored by best-cut community")
+		report   = fs.String("report", "", "write a JSON run report (phase timers, counters, memory deltas) to this file")
+		prof     = fs.String("pprof", "", "write CPU/heap profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pipeline && *algo != "sweep" {
+		return fmt.Errorf("-pipeline only applies to -algo sweep")
 	}
 	var rec *linkclust.Recorder
 	if *report != "" {
@@ -386,6 +390,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		rec.SetMeta("command", "cluster")
 		rec.SetMeta("algo", *algo)
 		rec.SetMeta("workers", strconv.Itoa(*workers))
+		rec.SetMeta("pipeline", strconv.FormatBool(*pipeline))
 	}
 	prf, err := startProfiler(*prof)
 	if err != nil {
@@ -432,18 +437,26 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	)
 	switch *algo {
 	case "sweep":
-		// The parallel engine reproduces the serial merge stream bitwise, so
-		// -workers only changes how the sweep runs, never what it outputs.
+		// The parallel and pipelined engines reproduce the serial merge
+		// stream bitwise, so -workers and -pipeline only change how the
+		// sweep runs, never what it outputs.
 		var res *linkclust.Result
-		if *workers > 1 {
+		switch {
+		case *pipeline:
+			res, err = core.SweepPipelinedRecorded(g, pl, *workers, rec)
+		case *workers > 1:
 			res, err = core.SweepParallelRecorded(g, pl, *workers, rec)
-		} else {
+		default:
 			res, err = core.SweepRecorded(g, pl, rec)
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "algorithm      sweep (workers=%d)\n", *workers)
+		mode := ""
+		if *pipeline {
+			mode = ", pipelined"
+		}
+		fmt.Fprintf(stdout, "algorithm      sweep (workers=%d%s)\n", *workers, mode)
 		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
 		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
 		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))

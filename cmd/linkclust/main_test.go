@@ -258,3 +258,42 @@ func TestGraphWorkersFlagMatchesSerial(t *testing.T) {
 		t.Fatal("parallel graph construction changed the output")
 	}
 }
+
+func TestClusterPipelineFlagMatchesPlain(t *testing.T) {
+	gtext := pipeline(t)
+	dir := t.TempDir()
+	plain := dir + "/plain.bin"
+	piped := dir + "/piped.bin"
+	var out bytes.Buffer
+	if err := run([]string{"cluster", "-algo", "sweep", "-save-merges", plain}, strings.NewReader(gtext), &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"cluster", "-algo", "sweep", "-pipeline", "-workers", "4", "-save-merges", piped},
+		strings.NewReader(gtext), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pipelined") {
+		t.Fatalf("pipelined run not labeled:\n%s", out.String())
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(piped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("-pipeline changed the merge stream")
+	}
+}
+
+func TestClusterPipelineFlagRequiresSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"cluster", "-algo", "coarse", "-pipeline"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out)
+	if err == nil {
+		t.Fatal("-pipeline accepted with -algo coarse")
+	}
+}

@@ -1,0 +1,157 @@
+package linkclust
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"linkclust/internal/core"
+)
+
+// Golden hashes for the fixed-seed word-association pipeline below. They pin
+// the exact clustering output (merge stream, bit for bit) and the
+// worker-invariant RunReport counters across every engine. If an intentional
+// algorithm change moves them, rerun the test and update the constants from
+// the failure message — any other trigger is a regression in determinism.
+const (
+	goldenClusterSHA  = "acd8ee08ada0f030f60c9c94cac36a65c66d1d94744f3e18fadb6a8020d86e8c"
+	goldenCountersSHA = "427038e2c059a2de3862364b8c74ccbdf663850178c361d8c5fa315a1ba2b156"
+)
+
+// goldenGraph builds the fixed-seed word-association network the golden
+// hashes are pinned to: the default synthetic corpus scaled down, α = 0.5,
+// edge ids permuted with the default seed.
+func goldenGraph(t *testing.T) *Graph {
+	t.Helper()
+	cfg := DefaultSynthConfig()
+	cfg.Vocab = 800
+	cfg.Docs = 1500
+	cfg.Topics = 8
+	g, err := BuildWordGraph(SynthesizeCorpus(cfg), 0.5, AssocOptions{EdgePermSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// canonMerges serializes a fine-grained result canonically: one line per
+// merge carrying the exact float bits of its similarity, then the summary
+// counts. Bitwise-equal results — and only those — share a serialization.
+func canonMerges(res *Result) string {
+	var b strings.Builder
+	for _, m := range res.Merges {
+		fmt.Fprintf(&b, "%d %d %d %d %016x\n", m.Level, m.A, m.B, m.Into, math.Float64bits(m.Sim))
+	}
+	fmt.Fprintf(&b, "levels %d clusters %d ops %d\n", res.Levels, res.NumClusters(), res.PairsProcessed)
+	return b.String()
+}
+
+func sha(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+// goldenInvariantCounters is the set of RunReport counters that are pure
+// functions of the input graph — never of the worker count or timing. The
+// stall/overlap/ns counters are deliberately absent.
+var goldenInvariantCounters = []string{
+	core.CtrSimilarityPairs,
+	core.CtrSimilarityIncidentPairs,
+	core.CtrSimilarityWedgeRows,
+	core.CtrSweepPairsProcessed,
+	core.CtrSweepChainRewrites,
+	core.CtrSweepMerges,
+	core.CtrSweepWindows,
+	core.CtrSweepRounds,
+	core.CtrSweepDeferrals,
+	core.CtrSweepNoopDrops,
+	core.CtrSweepSerialDrains,
+	core.CtrSweepFlattens,
+	core.CtrPipelineBuckets,
+}
+
+// canonCounters serializes the worker-invariant counters of a run report in
+// sorted name order.
+func canonCounters(rep *RunReport) string {
+	names := append([]string(nil), goldenInvariantCounters...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, rep.Counters[n])
+	}
+	return b.String()
+}
+
+// TestGoldenClusterOutput runs the fixed corpus through every fine-grained
+// engine — serial, parallel reservation, and pipelined, the latter two at
+// worker counts 1..8 — and requires every run to hash to the checked-in
+// golden value.
+func TestGoldenClusterOutput(t *testing.T) {
+	g := goldenGraph(t)
+	serial, err := Cluster(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sha(canonMerges(serial)); got != goldenClusterSHA {
+		t.Fatalf("serial Cluster hash %s, golden %s", got, goldenClusterSHA)
+	}
+	for workers := 1; workers <= 8; workers++ {
+		par, err := ClusterParallel(g, workers)
+		if err != nil {
+			t.Fatalf("parallel T=%d: %v", workers, err)
+		}
+		if got := sha(canonMerges(par)); got != goldenClusterSHA {
+			t.Fatalf("ClusterParallel T=%d hash %s, golden %s", workers, got, goldenClusterSHA)
+		}
+		pip, err := ClusterPipelined(g, workers)
+		if err != nil {
+			t.Fatalf("pipelined T=%d: %v", workers, err)
+		}
+		if got := sha(canonMerges(pip)); got != goldenClusterSHA {
+			t.Fatalf("ClusterPipelined T=%d hash %s, golden %s", workers, got, goldenClusterSHA)
+		}
+	}
+}
+
+// TestGoldenCounters runs the instrumented pipelined engine at several worker
+// counts and requires the worker-invariant counter set to hash to the
+// checked-in golden value every time — scheduling counters (windows, rounds,
+// deferrals, buckets) included, since the engine derives them from op counts,
+// not threads.
+func TestGoldenCounters(t *testing.T) {
+	g := goldenGraph(t)
+	for _, workers := range []int{1, 2, 4, 8} {
+		rec := NewRecorder()
+		if _, err := core.ClusterPipelinedRecorded(g, workers, rec); err != nil {
+			t.Fatalf("T=%d: %v", workers, err)
+		}
+		if got := sha(canonCounters(rec.Report())); got != goldenCountersSHA {
+			t.Fatalf("T=%d counters hash %s, golden %s\ncounters:\n%s",
+				workers, got, goldenCountersSHA, canonCounters(rec.Report()))
+		}
+	}
+	// The non-pipelined parallel engine shares every engine counter and adds
+	// no bucket, so its invariant set must match after accounting for the
+	// pipeline-only counter.
+	rec := NewRecorder()
+	if _, err := ClusterInstrumented(g, ClusterOptions{Workers: 4, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	pipRec := NewRecorder()
+	if _, err := core.ClusterPipelinedRecorded(g, 4, pipRec); err != nil {
+		t.Fatal(err)
+	}
+	a, b := rec.Report().Counters, pipRec.Report().Counters
+	for _, n := range goldenInvariantCounters {
+		if n == core.CtrPipelineBuckets {
+			continue
+		}
+		if a[n] != b[n] {
+			t.Errorf("counter %s: parallel %d vs pipelined %d", n, a[n], b[n])
+		}
+	}
+}

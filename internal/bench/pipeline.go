@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"linkclust/internal/core"
+)
+
+// pipelineThreads is the thread sweep of the pipelined-vs-barrier comparison.
+var pipelineThreads = []int{1, 2, 4, 8}
+
+// pipelineThread is one worker-count measurement of a row: the barrier path
+// (full sort, then sweep) against the pipelined path (partition, then
+// sort-while-sweeping) on identical unsorted inputs.
+type pipelineThread struct {
+	Workers    int     `json:"workers"`
+	BarrierNs  int64   `json:"barrier_ns"`
+	PipelineNs int64   `json:"pipeline_ns"`
+	Speedup    float64 `json:"speedup"` // barrier / pipelined
+}
+
+// pipelineResult is one α row of the pipeline microbenchmark.
+type pipelineResult struct {
+	Alpha         float64 `json:"alpha"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	Pairs         int     `json:"pairs"`          // K1
+	IncidentPairs int64   `json:"incident_pairs"` // K2
+	Merges        int     `json:"merges"`
+	Buckets       int64   `json:"buckets"`
+
+	Threads []pipelineThread `json:"threads"`
+}
+
+// pipelineReport is the BENCH_pipeline.json document.
+type pipelineReport struct {
+	Schema    string            `json:"schema"`
+	Name      string            `json:"name"`
+	CreatedAt time.Time         `json:"created_at"`
+	Meta      map[string]string `json:"meta"`
+	Results   []pipelineResult  `json:"results"`
+}
+
+// Pipeline benchmarks the sort barrier against the pipelined sweep per
+// fraction α: both paths start from the same unsorted pair list and are timed
+// over their full sort+sweep wall-clock — the barrier path sorts the whole
+// list and then runs the reservation engine, the pipelined path overlaps
+// per-bucket sorting with sweeping. The comparison is self-validating: every
+// timed run's merge stream is checked bitwise against the serial Sweep before
+// its time is accepted, so a reported speedup can never come from divergent
+// output. With cfg.BenchJSON set, the comparison is additionally written as a
+// linkclust/bench/v1 JSON document.
+func Pipeline(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+	cols := []string{"alpha", "K1", "buckets"}
+	for _, th := range pipelineThreads {
+		cols = append(cols, fmt.Sprintf("T=%d barrier", th), fmt.Sprintf("T=%d pipe", th))
+	}
+	t := &Table{
+		Title:   "pipeline: sort-then-sweep barrier vs sort-overlapped pipelined sweep",
+		Columns: cols,
+		Notes: []string{
+			"both columns time sort+sweep end to end from the same unsorted pair list",
+			"every merge stream verified bitwise against serial before timing is accepted",
+			fmt.Sprintf("this machine exposes %d CPU core(s); single-core runs measure overhead, not overlap", runtime.NumCPU()),
+		},
+	}
+	report := &pipelineReport{
+		Schema:    BenchSchemaV1,
+		Name:      "pipeline",
+		CreatedAt: time.Now().UTC(),
+		Meta: map[string]string{
+			"threads": fmt.Sprintf("%v", pipelineThreads),
+			"repeats": fmt.Sprintf("%d", cfg.Repeats),
+			"cpus":    fmt.Sprintf("%d", runtime.NumCPU()),
+		},
+	}
+	for _, wl := range wls {
+		g := wl.Graph
+		end := cfg.Obs.Phase(fmt.Sprintf("pipeline-alpha-%g", wl.Alpha))
+		master := core.Similarity(g)
+		serial, err := core.Sweep(g, clonePairs(master))
+		if err != nil {
+			end()
+			return fmt.Errorf("bench: serial sweep at alpha %v: %w", wl.Alpha, err)
+		}
+		res := pipelineResult{
+			Alpha:         wl.Alpha,
+			Vertices:      g.NumVertices(),
+			Edges:         g.NumEdges(),
+			Pairs:         len(master.Pairs),
+			IncidentPairs: master.NumIncidentPairs(),
+			Merges:        len(serial.Merges),
+			Buckets:       countBuckets(master),
+		}
+		row := []any{wl.Alpha, res.Pairs, res.Buckets}
+		for _, th := range pipelineThreads {
+			barrierNs, err := timeSweepFrom(cfg.Repeats, master, serial, func(pl *core.PairList) (*core.Result, error) {
+				pl.SortWorkers(th)
+				if th > 1 {
+					return core.SweepParallel(g, pl, th)
+				}
+				return core.Sweep(g, pl)
+			})
+			if err != nil {
+				end()
+				return fmt.Errorf("bench: barrier sweep at alpha %v T=%d: %w", wl.Alpha, th, err)
+			}
+			pipeNs, err := timeSweepFrom(cfg.Repeats, master, serial, func(pl *core.PairList) (*core.Result, error) {
+				return core.SweepPipelined(g, pl, th)
+			})
+			if err != nil {
+				end()
+				return fmt.Errorf("bench: pipelined sweep at alpha %v T=%d: %w", wl.Alpha, th, err)
+			}
+			tr := pipelineThread{Workers: th, BarrierNs: barrierNs.Nanoseconds(), PipelineNs: pipeNs.Nanoseconds()}
+			if pipeNs > 0 {
+				tr.Speedup = float64(barrierNs) / float64(pipeNs)
+			}
+			res.Threads = append(res.Threads, tr)
+			row = append(row, formatSeconds(barrierNs), formatSeconds(pipeNs))
+		}
+		end()
+		report.Results = append(report.Results, res)
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	if cfg.BenchJSON != "" {
+		if err := writeBenchJSON(cfg.BenchJSON, report); err != nil {
+			return fmt.Errorf("bench: writing %s: %w", cfg.BenchJSON, err)
+		}
+		fmt.Fprintf(w, "bench report written to %s\n", cfg.BenchJSON)
+	}
+	return nil
+}
+
+// timeSweepFrom times run over fresh unsorted clones of master (cloned
+// outside the timed region — both compared paths consume and destroy the
+// unsorted order) and validates every repeat's merge stream bitwise against
+// the serial reference before accepting its time. Minimum of repeats.
+func timeSweepFrom(repeats int, master *core.PairList, serial *core.Result, run func(*core.PairList) (*core.Result, error)) (time.Duration, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		pl := clonePairs(master)
+		start := time.Now()
+		res, err := run(pl)
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if err := sameMergeStream(serial, res); err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// clonePairs deep-copies a pair list's order-bearing state so a sweep can
+// sort the clone in place without disturbing the unsorted master.
+func clonePairs(pl *core.PairList) *core.PairList {
+	return &core.PairList{Pairs: append([]core.Pair(nil), pl.Pairs...)}
+}
+
+// countBuckets reports how many similarity buckets the partition would emit
+// for a pair list — the pipeline's available overlap granularity.
+func countBuckets(pl *core.PairList) int64 {
+	return core.CountPipelineBuckets(pl.Pairs)
+}

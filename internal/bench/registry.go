@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"theory", "Theorem 2 scaling on k-regular and complete graphs", Theory},
 		{"simkernel", "extension: legacy hash-map vs wedge-major similarity kernels", SimKernel},
 		{"sweepkernel", "extension: serial vs parallel fine-grained sweep engine", SweepKernel},
+		{"pipeline", "extension: sort barrier vs sort-overlapped pipelined sweep", Pipeline},
 		{"quality", "extension: community recovery (ONMI) on planted ground truth", Quality},
 		{"ablation", "extension: chain-vs-union-find and algorithm-family comparisons", Ablation},
 		{"corpus", "validation: synthetic corpus vs tweet-corpus statistics", CorpusExp},

@@ -1,0 +1,149 @@
+package coarse
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+// checkDendrogramSoundness asserts the Section V soundness contract of a
+// coarse result against the parameters that produced it:
+//
+//   - γ bound: between consecutive committed levels the cluster-count ratio
+//     β/β' stays within γ. The only tolerated violations are the ones the
+//     paper's design admits: a level whose chunk was a single atomic vertex
+//     pair (soundness cannot be enforced below pair granularity) and the
+//     final C3-terminated level (β' ≤ φ stops the sweep regardless of rate).
+//     Reused levels must satisfy the bound unconditionally — the Case-I jump
+//     filters on it.
+//   - Level boundaries respect the non-increasing similarity order of list
+//     L: each level's merge similarity is at most the previous level's, every
+//     merge of a level carries the level's one similarity, and the stream's
+//     level numbers are exactly 1..Levels in order.
+func checkDendrogramSoundness(g *graph.Graph, params Params, res *Result) error {
+	prev := g.NumEdges()
+	for i, ep := range res.Epochs {
+		if ep.Kind == EpochRollback {
+			continue
+		}
+		ratio := float64(prev) / float64(ep.Clusters)
+		if ratio > params.Gamma+1e-9 {
+			atomic := ep.Pairs == 1 && ep.Kind != EpochReused
+			final := ep.Clusters <= params.Phi
+			if ep.Kind == EpochReused {
+				return fmt.Errorf("reused epoch %d: ratio %v exceeds gamma %v (prev=%d now=%d)",
+					i, ratio, params.Gamma, prev, ep.Clusters)
+			}
+			if !atomic && !final {
+				return fmt.Errorf("epoch %d (%v): ratio %v exceeds gamma %v (prev=%d now=%d, pairs=%d)",
+					i, ep.Kind, ratio, params.Gamma, prev, ep.Clusters, ep.Pairs)
+			}
+		}
+		prev = ep.Clusters
+	}
+
+	level := int32(0)
+	levelSim := 0.0
+	for i, m := range res.Merges {
+		switch {
+		case m.Level == level:
+			if m.Sim != levelSim {
+				return fmt.Errorf("merge %d: level %d mixes similarities %v and %v", i, level, levelSim, m.Sim)
+			}
+		case m.Level > level:
+			if level > 0 && m.Sim > levelSim {
+				return fmt.Errorf("merge %d: level %d similarity %v rose above level %d's %v",
+					i, m.Level, m.Sim, level, levelSim)
+			}
+			level = m.Level
+			levelSim = m.Sim
+		default:
+			return fmt.Errorf("merge %d: level %d after level %d", i, m.Level, level)
+		}
+		if m.Level < 1 || m.Level > res.Levels {
+			return fmt.Errorf("merge %d: level %d outside 1..%d", i, m.Level, res.Levels)
+		}
+	}
+	return nil
+}
+
+// TestCoarseDendrogramSoundnessProperty samples random graphs, γ values, and
+// chunking parameters and checks the soundness contract on every run, serial
+// and parallel (whose dendrograms must also agree).
+func TestCoarseDendrogramSoundnessProperty(t *testing.T) {
+	f := func(seed uint64, gRaw, pRaw, dRaw uint8) bool {
+		src := rng.New(seed)
+		n := 12 + int(seed%24)
+		g := graph.ErdosRenyi(n, 0.2+float64(gRaw%4)/10, src)
+		params := Params{
+			Gamma:  1.2 + float64(gRaw%28)/10, // 1.2 .. 3.9
+			Phi:    1 + int(pRaw%8),
+			Delta0: 1 + int64(dRaw%32),
+			Eta0:   2 + float64(dRaw%6),
+		}
+		serial, err := Sweep(g, core.Similarity(g), params)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := checkDendrogramSoundness(g, params, serial); err != nil {
+			t.Logf("seed %d gamma %v serial: %v", seed, params.Gamma, err)
+			return false
+		}
+		params.Workers = 3
+		par, err := Sweep(g, core.Similarity(g), params)
+		if err != nil {
+			t.Logf("seed %d parallel: %v", seed, err)
+			return false
+		}
+		if err := checkDendrogramSoundness(g, params, par); err != nil {
+			t.Logf("seed %d gamma %v parallel: %v", seed, params.Gamma, err)
+			return false
+		}
+		if len(par.Merges) != len(serial.Merges) {
+			t.Logf("seed %d: parallel emitted %d merges, serial %d", seed, len(par.Merges), len(serial.Merges))
+			return false
+		}
+		for i := range serial.Merges {
+			if par.Merges[i] != serial.Merges[i] {
+				t.Logf("seed %d: merge %d diverged: %+v vs %+v", seed, i, par.Merges[i], serial.Merges[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoarseSoundnessOnStructuredGraphs runs the same contract on the
+// structured families where tie-heavy similarity plateaus stress the level
+// boundaries (many equal similarities per chunk).
+func TestCoarseSoundnessOnStructuredGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"paper-example": graph.PaperExample(),
+		"complete-12":   graph.Complete(12),
+	}
+	if g, err := graph.Circulant(36, 4); err == nil {
+		graphs["circulant-36"] = g
+	} else {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		for _, gamma := range []float64{1.2, 2, 4} {
+			params := Params{Gamma: gamma, Phi: 2, Delta0: 4, Eta0: 3, Workers: 1}
+			res, err := Sweep(g, core.Similarity(g), params)
+			if err != nil {
+				t.Fatalf("%s gamma %v: %v", name, gamma, err)
+			}
+			if err := checkDendrogramSoundness(g, params, res); err != nil {
+				t.Errorf("%s gamma %v: %v", name, gamma, err)
+			}
+		}
+	}
+}

@@ -64,6 +64,13 @@ func (c *CompactPairList) MemoryBytes() int64 {
 // Sorted reports whether Sort has run.
 func (c *CompactPairList) Sorted() bool { return c.sorted }
 
+// Invalidate clears the cached sort state, mirroring PairList.Invalidate.
+// Call it after mutating the list in place (rewriting similarities, touching
+// the arena through a PairAt view) so the next Sort — including the implicit
+// one in SweepCompact — actually re-sorts instead of trusting the stale
+// flag.
+func (c *CompactPairList) Invalidate() { c.sorted = false }
+
 // Sort orders pairs by non-increasing similarity with the same (U, V)
 // tie-break as PairList.Sort, rebuilding the arena in the new order. Like
 // PairList.Sort, the permutation sort runs chunked across workers with a

@@ -108,3 +108,52 @@ func TestCompactEmpty(t *testing.T) {
 		t.Fatalf("empty sweep: %v", err)
 	}
 }
+
+// TestCompactInvalidate is the stale-flag regression test for the compact
+// layout, mirroring TestPairListInvalidate: after Sort, an in-place rewrite
+// of a similarity leaves the list out of order, a second Sort is a no-op
+// behind the cached flag, and only Invalidate makes it re-sort. SweepCompact
+// relies on the implicit Sort, so a stale flag there would sweep pairs in
+// the wrong order and corrupt the dendrogram.
+func TestCompactInvalidate(t *testing.T) {
+	g := graph.ErdosRenyi(40, 0.2, rng.New(2))
+	c := Compact(Similarity(g))
+	c.Sort()
+	if c.NumPairs() < 3 {
+		t.Skip("graph too small to reorder")
+	}
+	// Rewrite the head's similarity below the tail's: the list is now
+	// unsorted, but the cached flag still claims otherwise.
+	c.sim[0] = c.sim[c.NumPairs()-1] / 2
+	c.Sort()
+	if c.sim[0] >= c.sim[1] {
+		t.Fatal("test setup failed to break the order")
+	}
+	if !c.Sorted() {
+		t.Fatal("Sorted() false before Invalidate")
+	}
+	c.Invalidate()
+	if c.Sorted() {
+		t.Fatal("Sorted() still true after Invalidate")
+	}
+	c.Sort()
+	for i := 1; i < c.NumPairs(); i++ {
+		if c.sim[i-1] < c.sim[i] {
+			t.Fatalf("pairs %d,%d out of order after Invalidate+Sort", i-1, i)
+		}
+	}
+}
+
+// TestCompactInheritsSortedFlag pins the flag handoff at conversion: Compact
+// carries the input's sort state over, in both directions.
+func TestCompactInheritsSortedFlag(t *testing.T) {
+	g := graph.ErdosRenyi(30, 0.2, rng.New(3))
+	if c := Compact(Similarity(g)); c.Sorted() {
+		t.Fatal("compact of an unsorted list claims sorted")
+	}
+	pl := Similarity(g)
+	pl.Sort()
+	if c := Compact(pl); !c.Sorted() {
+		t.Fatal("compact of a sorted list lost the flag")
+	}
+}

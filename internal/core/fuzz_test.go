@@ -92,6 +92,48 @@ func FuzzSweep(f *testing.F) {
 				t.Fatalf("T=%d: %v", workers, err)
 			}
 			requireIdenticalSweep(t, "fuzz parallel vs serial", par, serial)
+			pip, err := SweepPipelined(g, Similarity(g), workers)
+			if err != nil {
+				t.Fatalf("pipelined T=%d: %v", workers, err)
+			}
+			requireIdenticalSweep(t, "fuzz pipelined vs serial", pip, serial)
+		}
+	})
+}
+
+// FuzzSimilarity drives the initialization phase (Algorithm 1) over
+// arbitrary small graphs and checks the wedge-major kernel against the
+// legacy hash-map reference: after Sort, the pair lists must be element-wise
+// identical — same keys, bitwise-equal similarities, identical
+// common-neighbor lists — serially and at several worker counts. It also
+// checks the structural invariants of map M: canonical key order U < V, no
+// duplicate keys after sorting, and similarities within (0, 1].
+func FuzzSimilarity(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 1, 2, 3, 1, 0, 2, 1})
+	f.Add([]byte{16, 0, 1, 0, 1, 2, 0, 2, 0, 0})
+	f.Add([]byte{2, 0, 1, 7})
+	f.Add([]byte{24, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		legacy := SimilarityLegacy(g)
+		legacy.Sort()
+		for i, p := range legacy.Pairs {
+			if p.U >= p.V {
+				t.Fatalf("pair %d: key (%d,%d) not canonical", i, p.U, p.V)
+			}
+			if i > 0 && legacy.Pairs[i-1].U == p.U && legacy.Pairs[i-1].V == p.V {
+				t.Fatalf("pair %d: duplicate key (%d,%d)", i, p.U, p.V)
+			}
+			if !(p.Sim > 0 && p.Sim <= 1) {
+				t.Fatalf("pair %d: similarity %v outside (0, 1]", i, p.Sim)
+			}
+		}
+		requireIdenticalSorted(t, "fuzz wedge vs legacy", Similarity(g), legacy)
+		for _, workers := range []int{2, 5, 8} {
+			requireIdenticalSorted(t, "fuzz parallel wedge vs legacy", SimilarityParallel(g, workers), legacy)
 		}
 	})
 }

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
+)
+
+// Counter names recorded by the pipelined sweep.
+const (
+	// CtrPipelineBuckets counts non-empty similarity buckets emitted by the
+	// partition producer. A pure function of the pair list (bucket count
+	// adapts to list size, never to workers), so it is worker-invariant.
+	CtrPipelineBuckets = "pipeline.buckets"
+	// CtrPipelineStalls counts consumer waits: times the sweep finished
+	// every emitted bucket and blocked for the producer's next one. A
+	// timing artifact — NOT worker-invariant.
+	CtrPipelineStalls = "pipeline.consumer_stalls"
+	// CtrPipelineStallNs is the total wall time the consumer spent blocked
+	// waiting for buckets. NOT worker-invariant.
+	CtrPipelineStallNs = "pipeline.consumer_stall_ns"
+	// CtrPipelineSortNs is the total wall time the producer spent sorting
+	// buckets and copying them into place. NOT worker-invariant.
+	CtrPipelineSortNs = "pipeline.producer_sort_ns"
+	// CtrPipelineOverlapPct estimates how much of the producer's sort work
+	// was hidden behind the consumer's sweep: 100·(sort − stall)/sort,
+	// clamped to [0, 100]. NOT worker-invariant.
+	CtrPipelineOverlapPct = "pipeline.overlap_pct"
+)
+
+// Pipeline tuning.
+const (
+	// pipelineBucketAhead bounds the frontier channel: the producer may run
+	// at most this many buckets ahead of the consumer before blocking.
+	pipelineBucketAhead = 8
+	// pipelineSmallPairs selects the reduced bucket-bit width: lists below
+	// this size use pipelineSmallBits so the histogram never dwarfs the
+	// input. The threshold depends only on list length, keeping bucket
+	// boundaries (and the buckets-emitted counter) worker-invariant.
+	pipelineSmallPairs = 1 << 13
+	// pipelineBits is the MSD radix width of the similarity partition —
+	// sign, the full 11-bit exponent, and 4 mantissa bits, so each binade
+	// of similarities splits into 16 buckets.
+	pipelineBits = 16
+	// pipelineSmallBits is the width used below pipelineSmallPairs.
+	pipelineSmallBits = 8
+)
+
+// simBucket maps a similarity to its MSD radix bucket: the top bits of the
+// descending monotonic key of its float64 representation. The key transform
+// (flip all bits of negatives, set the sign bit of non-negatives, then
+// complement for descending order) makes bucket ids ascend as similarity
+// descends, and equal similarities always share a bucket — so emitting
+// buckets in ascending id order, each fully sorted by cmpPairs, concatenates
+// to exactly the list-L order of PairList.Sort.
+func simBucket(sim float64, shift uint) int {
+	b := math.Float64bits(sim)
+	if b == 1<<63 {
+		// -0 compares equal to +0 in cmpPairs, so it must share +0's bucket
+		// or an equal-similarity tie could straddle a bucket boundary and
+		// break the concatenated (U,V) tie order.
+		b = 0
+	}
+	if int64(b) < 0 {
+		b = ^b
+	} else {
+		b |= 1 << 63
+	}
+	return int(^b >> shift)
+}
+
+// pairPartition is the output of the MSD radix partition: pairs grouped
+// bucket-major in scratch (descending similarity across buckets, arbitrary
+// order within), with offs[b]:offs[b+1] delimiting bucket b. Bucket offsets
+// equal the buckets' final positions in the fully sorted list.
+type pairPartition struct {
+	scratch []Pair
+	offs    []int
+	buckets []int // non-empty bucket ids, ascending
+}
+
+// partitionPairs distributes pairs into similarity buckets with a classic
+// parallel counting sort: per-worker histograms over contiguous chunks, a
+// serial exclusive scan assigning each (worker, bucket) its write cursor,
+// and a parallel scatter. The scatter order within a bucket depends on the
+// worker count, which is harmless: every bucket is fully sorted by the
+// total-order comparator before use.
+func partitionPairs(pairs []Pair, workers int) *pairPartition {
+	n := len(pairs)
+	bits := pipelineBits
+	if n < pipelineSmallPairs {
+		bits = pipelineSmallBits
+	}
+	nb := 1 << bits
+	shift := uint(64 - bits)
+
+	w := par.Normalize(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	counts := make([]int, w*nb)
+	par.Do(n, w, func(t, lo, hi int) {
+		row := counts[t*nb : (t+1)*nb]
+		for i := lo; i < hi; i++ {
+			row[simBucket(pairs[i].Sim, shift)]++
+		}
+	})
+
+	p := &pairPartition{offs: make([]int, nb+1)}
+	pos := 0
+	for b := 0; b < nb; b++ {
+		p.offs[b] = pos
+		for t := 0; t < w; t++ {
+			c := counts[t*nb+b]
+			counts[t*nb+b] = pos
+			pos += c
+		}
+		if pos > p.offs[b] {
+			p.buckets = append(p.buckets, b)
+		}
+	}
+	p.offs[nb] = pos
+
+	p.scratch = make([]Pair, n)
+	par.Do(n, w, func(t, lo, hi int) {
+		cur := counts[t*nb : (t+1)*nb]
+		for i := lo; i < hi; i++ {
+			b := simBucket(pairs[i].Sim, shift)
+			p.scratch[cur[b]] = pairs[i]
+			cur[b]++
+		}
+	})
+	return p
+}
+
+// CountPipelineBuckets reports how many non-empty similarity buckets the
+// pipelined sweep would emit for these pairs — its available overlap
+// granularity. A pure function of the pair multiset (bucket width adapts to
+// list size only), so the count is worker-invariant.
+func CountPipelineBuckets(pairs []Pair) int64 {
+	bits := pipelineBits
+	if len(pairs) < pipelineSmallPairs {
+		bits = pipelineSmallBits
+	}
+	shift := uint(64 - bits)
+	seen := make(map[int]struct{})
+	for i := range pairs {
+		seen[simBucket(pairs[i].Sim, shift)] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
+// pipelineSorters returns the producer's sorter budget: roughly half the
+// worker count, leaving the rest for the consumer's resolve/find/apply
+// fan-outs that run concurrently with bucket sorting.
+func pipelineSorters(workers int) int {
+	if s := workers / 2; s > 1 {
+		return s
+	}
+	return 1
+}
+
+// SweepPipelined runs Algorithm 2 with the sort and merge phases overlapped:
+// instead of a monolithic PairList.Sort barrier between the initialization
+// and sweeping phases, the pair list is MSD-radix partitioned on the float
+// bits of its similarities into buckets that are non-increasing in
+// similarity across bucket order, and a producer sorts and emits bucket k
+// (over a bounded channel) while the reservation engine of SweepParallel is
+// already consuming buckets 1..k-1 — the O(K1·log K1) sort cost hides
+// behind merge wall-clock, and the per-bucket sorts are themselves cheaper
+// than one global sort.
+//
+// Determinism is preserved end to end: the concatenated per-bucket-sorted
+// stream is element-wise identical to PairList.Sort's order, the engine's
+// window boundaries are a pure op-count function of that order, and every
+// scheduling decision inside a window is worker-independent — so the merge
+// stream is bitwise identical to the serial Sweep for any worker count, and
+// the pair list finishes fully sorted in place exactly as the other sweeps
+// leave it.
+func SweepPipelined(g *graph.Graph, pl *PairList, workers int) (*Result, error) {
+	return SweepPipelinedRecorded(g, pl, workers, nil)
+}
+
+// SweepPipelinedRecorded is SweepPipelined with optional instrumentation:
+// partition/merge phase timers, the serial sweep's counters, the engine's
+// window/round counters, and the pipeline's bucket/stall/overlap counters
+// are recorded into rec. A nil rec records nothing.
+func SweepPipelinedRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (*Result, error) {
+	workers = par.Normalize(workers)
+	end := rec.Phase("sweep")
+	defer end()
+
+	e := &sweepEngine{g: g, pl: pl, workers: workers}
+	e.init()
+
+	if pl.Sorted() {
+		// Already list L: there is no sort to overlap; run the engine over
+		// the whole list at once.
+		endMerge := rec.Phase("merge")
+		err := e.consume(len(pl.Pairs), true)
+		endMerge()
+		if err != nil {
+			return nil, err
+		}
+		recordSweepEngine(rec, e)
+		return e.res, nil
+	}
+
+	endPart := rec.Phase("partition")
+	part := partitionPairs(pl.Pairs, workers)
+	endPart()
+
+	endMerge := rec.Phase("merge")
+	defer endMerge()
+
+	var sortNs atomic.Int64
+	frontiers := make(chan int, pipelineBucketAhead)
+	go func() {
+		defer close(frontiers)
+		pairs := pl.Pairs
+		par.Ordered(len(part.buckets), pipelineSorters(workers), func(i int) {
+			b := part.buckets[i]
+			t0 := time.Now()
+			slices.SortFunc(part.scratch[part.offs[b]:part.offs[b+1]], cmpPairs)
+			sortNs.Add(time.Since(t0).Nanoseconds())
+		}, func(i int) {
+			b := part.buckets[i]
+			lo, hi := part.offs[b], part.offs[b+1]
+			t0 := time.Now()
+			copy(pairs[lo:hi], part.scratch[lo:hi])
+			sortNs.Add(time.Since(t0).Nanoseconds())
+			frontiers <- hi
+		})
+	}()
+
+	var stalls, stallNs int64
+	var err error
+	for {
+		var f int
+		var ok bool
+		select {
+		case f, ok = <-frontiers:
+		default:
+			t0 := time.Now()
+			f, ok = <-frontiers
+			if ok {
+				stalls++
+				stallNs += time.Since(t0).Nanoseconds()
+			}
+		}
+		if !ok {
+			break
+		}
+		if err == nil {
+			err = e.consume(f, false)
+			// On error, keep draining so the producer finishes writing
+			// pl.Pairs and exits; returning mid-stream would race its
+			// in-place copies.
+		}
+	}
+	if err == nil {
+		err = e.consume(len(pl.Pairs), true)
+	}
+	// The producer has emitted (and therefore sorted and copied) every
+	// bucket once the channel closes, so the list is now list L.
+	pl.sorted = true
+	if err != nil {
+		return nil, err
+	}
+	recordSweepEngine(rec, e)
+	if rec != nil {
+		rec.Add(CtrPipelineBuckets, int64(len(part.buckets)))
+		rec.Add(CtrPipelineStalls, stalls)
+		rec.Add(CtrPipelineStallNs, stallNs)
+		sort := sortNs.Load()
+		rec.Add(CtrPipelineSortNs, sort)
+		if sort > 0 {
+			hidden := sort - stallNs
+			if hidden < 0 {
+				hidden = 0
+			}
+			rec.Add(CtrPipelineOverlapPct, 100*hidden/sort)
+		}
+	}
+	return e.res, nil
+}
+
+// recordSweepEngine records the counters shared by every engine-backed
+// sweep: the serial sweep's op/rewrite/merge counters plus the engine's
+// scheduling counters.
+func recordSweepEngine(rec *obs.Recorder, e *sweepEngine) {
+	if rec == nil {
+		return
+	}
+	rec.Add(CtrSweepPairsProcessed, e.res.PairsProcessed)
+	rec.Add(CtrSweepChainRewrites, e.res.Chain.Changes())
+	rec.Add(CtrSweepMerges, int64(len(e.res.Merges)))
+	rec.Add(CtrSweepWindows, e.windows)
+	rec.Add(CtrSweepRounds, e.rounds)
+	rec.Add(CtrSweepDeferrals, e.deferrals)
+	rec.Add(CtrSweepNoopDrops, e.drops)
+	rec.Add(CtrSweepSerialDrains, e.drains)
+	rec.Add(CtrSweepFlattens, e.flattens)
+}
+
+// ClusterPipelined is the fully pipelined fine-grained pipeline: the
+// parallel initialization phase feeding the bucket-partitioned,
+// sort-overlapped sweep. Output is bitwise identical to Cluster for any
+// worker count. workers is normalized exactly as in SimilarityParallel.
+func ClusterPipelined(g *graph.Graph, workers int) (*Result, error) {
+	return SweepPipelined(g, SimilarityParallel(g, workers), workers)
+}
+
+// ClusterPipelinedRecorded is ClusterPipelined with optional
+// instrumentation covering both phases.
+func ClusterPipelinedRecorded(g *graph.Graph, workers int, rec *obs.Recorder) (*Result, error) {
+	return SweepPipelinedRecorded(g, SimilarityParallelRecorded(g, workers, rec), workers, rec)
+}

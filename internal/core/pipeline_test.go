@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/rng"
+)
+
+// TestSimBucketOrder pins the radix key's two load-bearing properties:
+// bucket ids are non-decreasing as similarity decreases, and equal
+// similarities share a bucket — together these make the concatenation of
+// per-bucket-sorted runs equal the global sort.
+func TestSimBucketOrder(t *testing.T) {
+	sims := []float64{
+		2.5, 1.0, 0.999999, 0.75, 0.5, 0.5, 0.25, 0.1, 1e-3, 1e-9, 5e-300,
+		0.0, math.Copysign(0, -1), -1e-9, -0.5, -1, -3,
+	}
+	const shift = 64 - pipelineBits
+	for i := 1; i < len(sims); i++ {
+		hi, lo := sims[i-1], sims[i]
+		bh, bl := simBucket(hi, shift), simBucket(lo, shift)
+		if hi > lo && bh > bl {
+			t.Errorf("simBucket(%v) = %d > simBucket(%v) = %d; buckets must ascend as similarity descends", hi, bh, lo, bl)
+		}
+		if hi == lo && bh != bl {
+			t.Errorf("equal similarities %v landed in buckets %d and %d", hi, bh, bl)
+		}
+	}
+	// ±0 compare equal as floats and must share a bucket, or a tie could be
+	// split across a bucket boundary and break the concatenation order.
+	if simBucket(0, shift) != simBucket(math.Copysign(0, -1), shift) {
+		t.Errorf("+0 and -0 landed in different buckets (%d vs %d)",
+			simBucket(0, shift), simBucket(math.Copysign(0, -1), shift))
+	}
+}
+
+// TestPartitionPairsIsSortPrefix checks the partition against the sort it
+// replaces: concatenating the buckets in id order and sorting each must
+// reproduce PairList.Sort exactly, and the bucket offsets must equal the
+// buckets' positions in the fully sorted list.
+func TestPartitionPairsIsSortPrefix(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		g := graph.ErdosRenyi(150, 0.08, rng.New(11))
+		pl := Similarity(g)
+		want := Similarity(g)
+		want.Sort()
+		part := partitionPairs(pl.Pairs, workers)
+		if got := part.offs[len(part.offs)-1]; got != len(pl.Pairs) {
+			t.Fatalf("workers=%d: partition covers %d pairs, want %d", workers, got, len(pl.Pairs))
+		}
+		idx := 0
+		for _, b := range part.buckets {
+			idx += part.offs[b+1] - part.offs[b]
+		}
+		if idx != len(pl.Pairs) {
+			t.Fatalf("workers=%d: buckets carry %d pairs, want %d", workers, idx, len(pl.Pairs))
+		}
+		// Sort each bucket in place and compare the concatenation
+		// element-wise against the fully sorted list.
+		sorted := &PairList{Pairs: append([]Pair(nil), part.scratch...)}
+		for _, b := range part.buckets {
+			sub := &PairList{Pairs: sorted.Pairs[part.offs[b]:part.offs[b+1]]}
+			sub.SortWorkers(1)
+		}
+		if len(sorted.Pairs) != len(want.Pairs) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(sorted.Pairs), len(want.Pairs))
+		}
+		for i := range want.Pairs {
+			gp, wp := &sorted.Pairs[i], &want.Pairs[i]
+			if gp.U != wp.U || gp.V != wp.V || gp.Sim != wp.Sim {
+				t.Fatalf("workers=%d: pair %d = (%d,%d,%v), want (%d,%d,%v)",
+					workers, i, gp.U, gp.V, gp.Sim, wp.U, wp.V, wp.Sim)
+			}
+		}
+	}
+}
+
+// TestSweepPipelinedDifferential is the acceptance differential: on every
+// graph family (random, planted communities, word association, structured,
+// degenerate) and every worker count 1..8, the pipelined sweep must
+// reproduce the serial sweep exactly — bitwise-equal merge streams and
+// identical final partitions — and must leave the pair list sorted in place
+// exactly as the other sweeps do.
+func TestSweepPipelinedDifferential(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := Sweep(g, Similarity(g))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for workers := 1; workers <= 8; workers++ {
+				pl := Similarity(g)
+				res, err := SweepPipelined(g, pl, workers)
+				if err != nil {
+					t.Fatalf("T=%d: %v", workers, err)
+				}
+				requireIdenticalSweep(t, fmt.Sprintf("pipelined T=%d vs serial", workers), res, serial)
+				if !pl.Sorted() {
+					t.Fatalf("T=%d: pair list not marked sorted after pipelined sweep", workers)
+				}
+				for i := 1; i < len(pl.Pairs); i++ {
+					if cmpPairs(pl.Pairs[i-1], pl.Pairs[i]) > 0 {
+						t.Fatalf("T=%d: pair list out of order at %d after pipelined sweep", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepPipelinedLargeRandom pushes past the shared families with graphs
+// big enough to cut many windows, span many similarity buckets, and cross
+// the engine's fan-out thresholds.
+func TestSweepPipelinedLargeRandom(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.ErdosRenyi(300, 0.06, rng.New(seed))
+		serial, err := Sweep(g, Similarity(g))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			res, err := SweepPipelined(g, Similarity(g), workers)
+			if err != nil {
+				t.Fatalf("seed %d T=%d: %v", seed, workers, err)
+			}
+			requireIdenticalSweep(t, fmt.Sprintf("seed %d T=%d", seed, workers), res, serial)
+		}
+	}
+}
+
+// TestSweepPipelinedPresorted covers the degenerate entry: a pre-sorted
+// list skips the partition entirely and must still reproduce serial output
+// (and not disturb the sorted flag).
+func TestSweepPipelinedPresorted(t *testing.T) {
+	g := graph.ErdosRenyi(120, 0.1, rng.New(7))
+	serial, err := Sweep(g, Similarity(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := Similarity(g)
+	pl.Sort()
+	res, err := SweepPipelined(g, pl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalSweep(t, "presorted", res, serial)
+	if !pl.Sorted() {
+		t.Fatal("sorted flag lost")
+	}
+}
+
+// TestSweepPipelinedErrorParity feeds the pipelined sweep a pair list from a
+// foreign graph: it must surface exactly the serial sweep's error (first
+// failing operation in serial order) at every worker count, and must not
+// leak its producer goroutine doing so.
+func TestSweepPipelinedErrorParity(t *testing.T) {
+	g, err := graph.Circulant(48, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := graph.Complete(48)
+	_, serialErr := Sweep(g, Similarity(foreign))
+	if serialErr == nil {
+		t.Fatal("serial sweep accepted a foreign pair list")
+	}
+	for workers := 1; workers <= 8; workers++ {
+		_, pipeErr := SweepPipelined(g, Similarity(foreign), workers)
+		if pipeErr == nil {
+			t.Fatalf("T=%d: pipelined sweep accepted a foreign pair list", workers)
+		}
+		if pipeErr.Error() != serialErr.Error() {
+			t.Fatalf("T=%d: error %q, want serial's %q", workers, pipeErr, serialErr)
+		}
+	}
+}
+
+// TestSweepPipelinedCounters checks the pipelined path's instrumentation:
+// the standard sweep counters must match the result, the engine's retire
+// identity must hold, and the bucket counter must be positive and
+// worker-invariant (stall/overlap counters are timing artifacts and only
+// checked for range).
+func TestSweepPipelinedCounters(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.08, rng.New(4))
+	var buckets int64 = -1
+	for _, workers := range []int{1, 4, 8} {
+		rec := obs.New()
+		res, err := SweepPipelinedRecorded(g, Similarity(g), workers, rec)
+		if err != nil {
+			t.Fatalf("T=%d: %v", workers, err)
+		}
+		if got := rec.Counter(CtrSweepPairsProcessed); got != res.PairsProcessed {
+			t.Fatalf("T=%d: pairs counter %d, want %d", workers, got, res.PairsProcessed)
+		}
+		retired := rec.Counter(CtrSweepMerges) + rec.Counter(CtrSweepNoopDrops)
+		if retired != res.PairsProcessed {
+			t.Fatalf("T=%d: merges + drops = %d, want every op retired once (%d)", workers, retired, res.PairsProcessed)
+		}
+		b := rec.Counter(CtrPipelineBuckets)
+		if b < 1 {
+			t.Fatalf("T=%d: no buckets recorded", workers)
+		}
+		if buckets >= 0 && b != buckets {
+			t.Fatalf("T=%d: %d buckets, want worker-invariant %d", workers, b, buckets)
+		}
+		buckets = b
+		if pct := rec.Counter(CtrPipelineOverlapPct); pct < 0 || pct > 100 {
+			t.Fatalf("T=%d: overlap pct %d out of range", workers, pct)
+		}
+	}
+}
+
+// TestClusterPipelinedMatchesCluster is the end-to-end check of the facade
+// path: ClusterPipelined == Cluster bitwise at several worker counts.
+func TestClusterPipelinedMatchesCluster(t *testing.T) {
+	g := graph.ErdosRenyi(180, 0.07, rng.New(21))
+	serial, err := Cluster(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 8} {
+		res, err := ClusterPipelined(g, workers)
+		if err != nil {
+			t.Fatalf("T=%d: %v", workers, err)
+		}
+		requireIdenticalSweep(t, fmt.Sprintf("cluster pipelined T=%d", workers), res, serial)
+	}
+}

@@ -101,17 +101,7 @@ func SweepParallelRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.R
 	if err != nil {
 		return nil, err
 	}
-	if rec != nil {
-		rec.Add(CtrSweepPairsProcessed, res.PairsProcessed)
-		rec.Add(CtrSweepChainRewrites, res.Chain.Changes())
-		rec.Add(CtrSweepMerges, int64(len(res.Merges)))
-		rec.Add(CtrSweepWindows, e.windows)
-		rec.Add(CtrSweepRounds, e.rounds)
-		rec.Add(CtrSweepDeferrals, e.deferrals)
-		rec.Add(CtrSweepNoopDrops, e.drops)
-		rec.Add(CtrSweepSerialDrains, e.drains)
-		rec.Add(CtrSweepFlattens, e.flattens)
-	}
+	recordSweepEngine(rec, e)
 	return res, nil
 }
 
@@ -139,20 +129,29 @@ type sweepEngine struct {
 	// reach these — resolution drops them on the spot, which is exact
 	// because cluster merging is monotone: edges sharing a cluster before
 	// the window still share it at the op's serial position.
-	sIdx   []int32      // survivor -> op index within the window
-	e1, e2 []int32      // resolved incident edge ids, per survivor
-	c1, c2 []int32      // cluster ids from the round's find phase
-	evA    []int32      // merge operand A per survivor; -1 marks "no event"
-	evB    []int32      // merge operand B per survivor
-	pend   []int32      // survivors still pending in the current window
-	next   []int32      // pending list under construction for the next round
-	sel    []int32      // survivors selected by the current round's scan
-	offs   []int32      // per-pair op offsets within the window
+	sIdx   []int32       // survivor -> op index within the window
+	e1, e2 []int32       // resolved incident edge ids, per survivor
+	c1, c2 []int32       // cluster ids from the round's find phase
+	evA    []int32       // merge operand A per survivor; -1 marks "no event"
+	evB    []int32       // merge operand B per survivor
+	pend   []int32       // survivors still pending in the current window
+	next   []int32       // pending list under construction for the next round
+	sel    []int32       // survivors selected by the current round's scan
+	offs   []int32       // per-pair op offsets within the window
 	wbuf   []survivorBuf // per-worker survivor staging buffers
-	parChg []int64      // per-worker change counts of the apply phase
+	parChg []int64       // per-worker change counts of the apply phase
 
 	claim []int64 // cluster id -> generation that last reserved it
 	gen   int64   // current reservation generation (bumped per round)
+
+	// Streaming window cursor: pairs [wp, wq) are accumulated into the
+	// window under construction, carrying wops incident operations. The
+	// monolithic run and the pipelined consumer share this state, so window
+	// boundaries — a greedy, purely op-count-based function of the sorted
+	// pair order — are identical whether the list arrives whole or in
+	// sorted-bucket increments.
+	wp, wq int
+	wops   int
 
 	opsSinceFlatten int64
 
@@ -181,6 +180,17 @@ func (b *survivorBuf) reset() {
 }
 
 func (e *sweepEngine) run() (*Result, error) {
+	e.init()
+	if err := e.consume(len(e.pl.Pairs), true); err != nil {
+		return nil, err
+	}
+	return e.res, nil
+}
+
+// init allocates the chain, the reservation table, and the per-worker
+// buffers, and builds the packed adjacency. It must run before the first
+// consume call.
+func (e *sweepEngine) init() {
 	m := e.g.NumEdges()
 	e.ch = NewChain(m)
 	e.res = &Result{Chain: e.ch}
@@ -188,23 +198,39 @@ func (e *sweepEngine) run() (*Result, error) {
 	e.parChg = make([]int64, e.workers)
 	e.wbuf = make([]survivorBuf, e.workers)
 	e.buildCSR()
+}
+
+// consume advances the window cutter over pairs below the frontier index and
+// processes every completed window. A window completes when it carries at
+// least sweepWindowOps incident operations (never splitting a pair), or —
+// with final set — when the stream ends. Because completion is decided
+// purely by op counts against the pair order, feeding the list in any
+// sequence of frontier increments produces exactly the windows (and thus
+// exactly the merge stream) of a single whole-list call.
+//
+// Pairs below the frontier must be in their final sorted positions and must
+// not change afterwards; the pipelined producer guarantees this by emitting
+// a frontier only after the bucket below it is sorted and copied in place.
+func (e *sweepEngine) consume(frontier int, final bool) error {
 	pairs := e.pl.Pairs
-	for p := 0; p < len(pairs); {
-		// Cut one window: pairs [p, q) carrying >= sweepWindowOps incident
-		// operations (never splitting a pair), with per-pair op offsets for
-		// the parallel fill.
-		w := 0
-		q := p
-		e.offs = e.offs[:0]
-		for q < len(pairs) && w < sweepWindowOps {
-			e.offs = append(e.offs, int32(w))
-			w += len(pairs[q].Common)
-			q++
+	for {
+		// Accumulate pairs into the window under construction, with
+		// per-pair op offsets for the parallel fill.
+		for e.wq < frontier && e.wops < sweepWindowOps {
+			e.offs = append(e.offs, int32(e.wops))
+			e.wops += len(pairs[e.wq].Common)
+			e.wq++
 		}
-		e.offs = append(e.offs, int32(w))
-		if w > 0 {
-			if err := e.window(p, q, w); err != nil {
-				return nil, err
+		if e.wops < sweepWindowOps && !(final && e.wq >= frontier) {
+			return nil // window still open; wait for more pairs
+		}
+		if e.wq == e.wp {
+			return nil // final call with nothing accumulated
+		}
+		e.offs = append(e.offs, int32(e.wops))
+		if w := e.wops; w > 0 {
+			if err := e.window(e.wp, e.wq, w); err != nil {
+				return err
 			}
 			e.res.PairsProcessed += int64(w)
 			e.windows++
@@ -214,9 +240,10 @@ func (e *sweepEngine) run() (*Result, error) {
 				e.opsSinceFlatten = 0
 			}
 		}
-		p = q
+		e.wp = e.wq
+		e.wops = 0
+		e.offs = e.offs[:0]
 	}
-	return e.res, nil
 }
 
 // flatten rewrites every chain entry to point directly at its cluster

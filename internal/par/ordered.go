@@ -1,0 +1,69 @@
+package par
+
+import "sync"
+
+// Ordered processes items 0..n-1 across up to workers goroutines and calls
+// emit(i) exactly once per item, in ascending index order, as soon as item i
+// and every item before it have been processed. It is the scheduler of
+// producer/consumer pipelines whose stages may complete out of order but
+// whose output must stream in order (e.g. sorting similarity buckets while a
+// consumer sweeps the already-emitted prefix).
+//
+// Items are assigned to workers round-robin by index, so worker t processes
+// items t, t+W, t+2W, ... in ascending order. Each worker signals its
+// completions over its own channel; the emitter drains channel i mod W for
+// item i, which yields exactly item i because a worker's completions arrive
+// in its own assignment order. Emission order is therefore deterministic for
+// any worker count and any completion interleaving.
+//
+// process runs concurrently with other process calls and with emit; emit
+// runs on the calling goroutine only. Ordered returns once every item has
+// been emitted. With one worker (or n <= 1) everything runs on the calling
+// goroutine, alternating process(i); emit(i).
+func Ordered(n, workers int, process func(i int), emit func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			process(i)
+			emit(i)
+		}
+		return
+	}
+	// A small buffer per worker lets workers run ahead of the emitter
+	// without unbounded memory: at most workers*orderedAhead items can be
+	// processed but not yet emitted.
+	done := make([]chan int, workers)
+	for t := range done {
+		done[t] = make(chan int, orderedAhead)
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < n; i += workers {
+				process(i)
+				done[t] <- i
+			}
+		}(t)
+	}
+	for i := 0; i < n; i++ {
+		if got := <-done[i%workers]; got != i {
+			// Unreachable by construction; guard against future edits
+			// breaking the round-robin invariant.
+			panic("par: Ordered completion out of assignment order")
+		}
+		emit(i)
+	}
+	wg.Wait()
+}
+
+// orderedAhead bounds how many completed-but-unemitted items each worker may
+// buffer before it blocks waiting for the emitter.
+const orderedAhead = 4

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderedEmitsInOrder checks the core contract: emit sees every index
+// exactly once, ascending, for any worker count — including counts above the
+// item count and non-positive requests.
+func TestOrderedEmitsInOrder(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			var processed atomic.Int64
+			emitted := make([]int, 0, n)
+			Ordered(n, workers, func(i int) {
+				processed.Add(1)
+			}, func(i int) {
+				emitted = append(emitted, i)
+			})
+			if got := processed.Load(); got != int64(n) {
+				t.Fatalf("workers=%d n=%d: processed %d items", workers, n, got)
+			}
+			if len(emitted) != n {
+				t.Fatalf("workers=%d n=%d: emitted %d items", workers, n, len(emitted))
+			}
+			for i, e := range emitted {
+				if e != i {
+					t.Fatalf("workers=%d n=%d: emitted[%d] = %d", workers, n, i, e)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedEmitFollowsProcess checks the ordering guarantee emit relies
+// on: when emit(i) runs, items 0..i have all been processed.
+func TestOrderedEmitFollowsProcess(t *testing.T) {
+	const n = 50
+	var doneMask [n]atomic.Bool
+	Ordered(n, 4, func(i int) {
+		if i%3 == 0 {
+			time.Sleep(time.Millisecond) // skew completion order
+		}
+		doneMask[i].Store(true)
+	}, func(i int) {
+		for j := 0; j <= i; j++ {
+			if !doneMask[j].Load() {
+				t.Errorf("emit(%d) ran before process(%d) finished", i, j)
+				return
+			}
+		}
+	})
+}
+
+// TestOrderedOverlap checks that processing genuinely overlaps emission:
+// with a slow emitter, workers must be able to run ahead on later items
+// rather than serializing behind it.
+func TestOrderedOverlap(t *testing.T) {
+	const n = 16
+	var maxProcessedBeforeFirstEmit atomic.Int64
+	firstEmit := make(chan struct{})
+	var processed atomic.Int64
+	go func() {
+		<-firstEmit
+	}()
+	Ordered(n, 4, func(i int) {
+		processed.Add(1)
+	}, func(i int) {
+		if i == 0 {
+			// By the time item 0 is emitted, other workers may already have
+			// processed later items; record how far ahead they got.
+			maxProcessedBeforeFirstEmit.Store(processed.Load())
+			close(firstEmit)
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	// Not a strict guarantee (scheduling-dependent), so only report.
+	t.Logf("items processed before first emission: %d/%d", maxProcessedBeforeFirstEmit.Load(), n)
+}
