@@ -38,6 +38,7 @@
 package linkclust
 
 import (
+	"context"
 	"io"
 
 	"linkclust/internal/assoc"
@@ -49,6 +50,7 @@ import (
 	"linkclust/internal/metrics"
 	"linkclust/internal/obs"
 	"linkclust/internal/onmi"
+	"linkclust/internal/par"
 	"linkclust/internal/planted"
 )
 
@@ -144,6 +146,18 @@ type (
 // NewRecorder returns a Recorder with the run clock started.
 func NewRecorder() *Recorder { return obs.New() }
 
+// WorkerPanicError is the typed error surfaced by the context-aware entry
+// points when a goroutine inside a worker pool panics: the pool recovers the
+// panic, asks its siblings to stop, drains, and the entry point returns this
+// error (carrying the worker index and stack) instead of crashing the
+// process. Match it with errors.As.
+type WorkerPanicError = par.WorkerPanicError
+
+// CtrMemBudgetDegrades counts runs that breached the soft memory budget at
+// the initialization/sweep boundary and degraded from fine-grained to
+// coarse-grained clustering (see ClusterOptions.MemBudgetBytes).
+const CtrMemBudgetDegrades = "cluster.mem_budget_degrades"
+
 // ClusterOptions configures an instrumented pipeline run.
 type ClusterOptions struct {
 	// Workers sets the worker count for the initialization phase (and the
@@ -154,6 +168,19 @@ type ClusterOptions struct {
 	// Recorder, when non-nil, collects phase timers and counters for the
 	// run; call Recorder.Report to obtain the RunReport.
 	Recorder *Recorder
+	// Pipeline selects the sort-overlapped sweep (SweepPipelined) instead of
+	// the windowed parallel sweep when Workers > 1. Output is bitwise
+	// identical either way.
+	Pipeline bool
+	// MemBudgetBytes, when positive, sets a soft live-heap budget for
+	// ClusterCtx: heap growth is measured from entry and checked at the
+	// initialization/sweep phase boundary, and on breach the run degrades
+	// gracefully to coarse-grained clustering (DefaultCoarseParams) over the
+	// already-computed pair list instead of paying the fine-grained sweep's
+	// allocations. The degrade is recorded on the Recorder under
+	// CtrMemBudgetDegrades. "Soft" means overshoot within a phase is only
+	// observed at the phase boundary; zero disables the budget.
+	MemBudgetBytes int64
 }
 
 // Similarity runs the initialization phase (Algorithm 1) serially with the
@@ -257,6 +284,106 @@ func ClusterInstrumented(g *Graph, opts ClusterOptions) (*Result, error) {
 		return core.SweepParallelRecorded(g, pl, opts.Workers, opts.Recorder)
 	}
 	return core.SweepRecorded(g, pl, opts.Recorder)
+}
+
+// SimilarityCtx is SimilarityParallel with cooperative cancellation, panic
+// isolation, and optional instrumentation: the context is checked at every
+// row-block claim of the wedge kernel, and a worker panic surfaces as a
+// *WorkerPanicError instead of crashing. On a nil error the output is bitwise
+// identical to Similarity / SimilarityParallel.
+func SimilarityCtx(ctx context.Context, g *Graph, workers int, rec *Recorder) (*PairList, error) {
+	return core.SimilarityCtx(ctx, g, workers, rec)
+}
+
+// SweepCtx is the serial sweep with cooperative cancellation: the context is
+// checked once per 8192 incident-edge operations (the same window size as
+// the parallel engines), bounding cancel latency by one window.
+func SweepCtx(ctx context.Context, g *Graph, pl *PairList, rec *Recorder) (*Result, error) {
+	return core.SweepCtx(ctx, g, pl, rec)
+}
+
+// SweepParallelCtx is SweepParallel with cooperative cancellation, panic
+// isolation, and optional instrumentation. Cancellation is checked at every
+// op-count window cut and inside the parallel sort; on cancellation every
+// worker pool drains before context.Canceled (or the context's error) is
+// returned, so no goroutine outlives the call. When ctx never cancels, the
+// merge stream is bitwise identical to Sweep for any worker count.
+func SweepParallelCtx(ctx context.Context, g *Graph, pl *PairList, workers int, rec *Recorder) (*Result, error) {
+	return core.SweepParallelCtx(ctx, g, pl, workers, rec)
+}
+
+// SweepPipelinedCtx is SweepPipelined with cooperative cancellation, panic
+// isolation, and optional instrumentation. Cancellation points are the
+// engine's window cuts (consumer) and the bucket claims/publishes of the
+// sorting producer; shutdown is clean on both sides — the producer is never
+// left blocked on the frontier channel. On cancellation the pair list is left
+// unsorted but still a valid permutation, so it can be reused. When ctx never
+// cancels, output is bitwise identical to Sweep.
+func SweepPipelinedCtx(ctx context.Context, g *Graph, pl *PairList, workers int, rec *Recorder) (*Result, error) {
+	return core.SweepPipelinedCtx(ctx, g, pl, workers, rec)
+}
+
+// ClusterCtx is the cancellable, fault-tolerant end-to-end pipeline:
+// SimilarityCtx followed by the sweep selected by opts (pipelined when
+// opts.Pipeline, windowed-parallel when opts.Workers > 1, serial otherwise),
+// with opts.MemBudgetBytes optionally degrading the run to coarse-grained
+// clustering at the phase boundary (see ClusterOptions). Cancellation is
+// honored within one scheduling window at every stage; worker panics surface
+// as *WorkerPanicError; and when ctx never cancels, no budget breaches, and
+// no fault is injected, the result is bitwise identical to Cluster.
+func ClusterCtx(ctx context.Context, g *Graph, opts ClusterOptions) (*Result, error) {
+	budget := obs.NewMemBudget(opts.MemBudgetBytes)
+	pl, err := core.SimilarityCtx(ctx, g, opts.Workers, opts.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	if budget.Exceeded() {
+		opts.Recorder.Add(CtrMemBudgetDegrades, 1)
+		params := coarse.DefaultParams()
+		params.Workers = opts.Workers
+		cres, err := coarse.SweepCtx(ctx, g, pl, params, opts.Recorder)
+		if err != nil {
+			return nil, err
+		}
+		return coarseToResult(cres), nil
+	}
+	switch {
+	case opts.Pipeline:
+		return core.SweepPipelinedCtx(ctx, g, pl, opts.Workers, opts.Recorder)
+	case opts.Workers > 1:
+		return core.SweepParallelCtx(ctx, g, pl, opts.Workers, opts.Recorder)
+	default:
+		return core.SweepCtx(ctx, g, pl, opts.Recorder)
+	}
+}
+
+// CoarseClusterCtx is CoarseCluster with cooperative cancellation, panic
+// isolation, and optional instrumentation: the context is checked at every
+// chunk boundary of the coarse sweep (and at every row-block claim of the
+// initialization), bounding cancel latency by one chunk.
+func CoarseClusterCtx(ctx context.Context, g *Graph, params CoarseParams, opts ClusterOptions) (*CoarseResult, error) {
+	if opts.Workers != 0 {
+		params.Workers = opts.Workers
+	}
+	pl, err := core.SimilarityCtx(ctx, g, params.Workers, opts.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	return coarse.SweepCtx(ctx, g, pl, params, opts.Recorder)
+}
+
+// coarseToResult adapts a coarse-grained result to the fine-grained Result
+// shape for the memory-budget degrade path: the merge stream, final chain,
+// level counter, and processed-op count carry over directly. Coarse levels
+// group many merges (one level per chunk), so dendrogram cuts behave
+// identically but per-merge level granularity is coarser than Sweep's.
+func coarseToResult(cres *coarse.Result) *core.Result {
+	return &core.Result{
+		Merges:         cres.Merges,
+		Chain:          cres.Chain,
+		Levels:         cres.Levels,
+		PairsProcessed: cres.OpsProcessed,
+	}
 }
 
 // CoarseClusterInstrumented is CoarseCluster with optional instrumentation:

@@ -92,6 +92,14 @@ func run(args []string, out io.Writer) error {
 	runErr := exp.Run(out, cfg)
 	end()
 	if runErr != nil {
+		// The phases timed so far are still worth keeping: write the partial
+		// report tagged with the error, then fail with the experiment's error.
+		if rec != nil {
+			rec.SetMeta("error", runErr.Error())
+			if werr := writeReportJSON(rec, *report, out); werr != nil {
+				fmt.Fprintln(os.Stderr, "lcbench: writing partial run report:", werr)
+			}
+		}
 		return runErr
 	}
 	fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
@@ -101,18 +109,26 @@ func run(args []string, out io.Writer) error {
 		if err := rep.Fprint(out); err != nil {
 			return err
 		}
-		f, err := os.Create(*report)
-		if err != nil {
+		if err := writeReportJSON(rec, *report, out); err != nil {
 			return err
 		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "run report written to %s\n", *report)
 	}
+	return nil
+}
+
+// writeReportJSON finalizes the recorder and writes its RunReport to path.
+func writeReportJSON(rec *obs.Recorder, path string, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "run report written to %s\n", path)
 	return nil
 }

@@ -17,14 +17,18 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"linkclust"
 	"linkclust/internal/baseline"
@@ -35,13 +39,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// SIGINT cancels the run context instead of killing the process: the
+	// clustering engines observe it within one scheduling window, unwind
+	// cleanly, and the error path below still writes the partial run report.
+	// A second SIGINT falls through to the default handler (hard kill).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "linkclust:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // conventional 128+SIGINT
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) == 0 {
 		return usageError()
 	}
@@ -53,15 +66,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "stats":
 		return cmdStats(args[1:], stdin, stdout)
 	case "simil":
-		return cmdSimil(args[1:], stdin, stdout)
+		return cmdSimil(ctx, args[1:], stdin, stdout)
 	case "cluster":
-		return cmdCluster(args[1:], stdin, stdout)
+		return cmdCluster(ctx, args[1:], stdin, stdout)
 	case "analyze":
 		return cmdAnalyze(args[1:], stdin, stdout)
 	case "help", "-h", "--help":
 		return usageError()
 	default:
 		return fmt.Errorf("unknown subcommand %q: %w", args[0], usageError())
+	}
+}
+
+// withTimeout derives the subcommand context from the -timeout flag; zero
+// means no deadline.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// reportOnError returns a deferred hook that writes the run report on the
+// error path (cancellation, timeout, worker panic, ...), tagging it with the
+// error so a partial report is distinguishable from a completed one. The
+// success path writes its own report and sets *written to suppress the hook.
+func reportOnError(rec *linkclust.Recorder, path string, stdout io.Writer, errp *error, written *bool) func() {
+	return func() {
+		if *errp == nil || *written || rec == nil || path == "" {
+			return
+		}
+		rec.SetMeta("error", (*errp).Error())
+		if werr := writeReport(rec, path, stdout); werr != nil {
+			fmt.Fprintln(os.Stderr, "linkclust: writing partial run report:", werr)
+		}
 	}
 }
 
@@ -310,13 +348,14 @@ func cmdStats(args []string, stdin io.Reader, stdout io.Writer) error {
 // similarity pair list in the binary format, so repeated clustering runs
 // (different coarse parameters, different cuts) skip the most expensive
 // phase.
-func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
+func cmdSimil(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("simil", flag.ContinueOnError)
 	var (
 		in      = fs.String("in", "-", "input graph (- for stdin)")
 		out     = fs.String("out", "", "output pair-list file (required)")
 		workers = fs.Int("workers", 1, "worker threads")
 		report  = fs.String("report", "", "write a JSON run report (phase timers, counters) to this file")
+		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -324,12 +363,16 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *out == "" {
 		return fmt.Errorf("simil: -out is required")
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	var rec *linkclust.Recorder
 	if *report != "" {
 		rec = linkclust.NewRecorder()
 		rec.SetMeta("command", "simil")
 		rec.SetMeta("workers", strconv.Itoa(*workers))
 	}
+	reportWritten := false
+	defer reportOnError(rec, *report, stdout, &err, &reportWritten)()
 	r, closeIn, err := openInput(*in, stdin)
 	if err != nil {
 		return err
@@ -341,7 +384,10 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pl := core.SimilarityParallelRecorded(g, *workers, rec)
+	pl, err := core.SimilarityCtx(ctx, g, *workers, rec)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -355,16 +401,18 @@ func cmdSimil(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "wrote %d pairs (%d incident edge pairs) to %s\n",
 		len(pl.Pairs), pl.NumIncidentPairs(), *out)
+	reportWritten = true
 	return writeReport(rec, *report, stdout)
 }
 
-func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
+func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "-", "input graph (- for stdin)")
 		algo     = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
 		workers  = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
 		pipeline = fs.Bool("pipeline", false, "sweep: overlap sorting with merging (output unchanged)")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		gamma    = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
 		phi      = fs.Int("phi", 100, "coarse: stop below this many clusters")
 		delta0   = fs.Int64("delta0", 1000, "coarse: initial chunk size")
@@ -384,6 +432,8 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *pipeline && *algo != "sweep" {
 		return fmt.Errorf("-pipeline only applies to -algo sweep")
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	var rec *linkclust.Recorder
 	if *report != "" {
 		rec = linkclust.NewRecorder()
@@ -392,6 +442,8 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		rec.SetMeta("workers", strconv.Itoa(*workers))
 		rec.SetMeta("pipeline", strconv.FormatBool(*pipeline))
 	}
+	reportWritten := false
+	defer reportOnError(rec, *report, stdout, &err, &reportWritten)()
 	prf, err := startProfiler(*prof)
 	if err != nil {
 		return err
@@ -424,7 +476,10 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	} else {
-		pl = core.SimilarityParallelRecorded(g, *workers, rec)
+		pl, err = core.SimilarityCtx(ctx, g, *workers, rec)
+		if err != nil {
+			return err
+		}
 	}
 	if rec != nil {
 		rec.SetMeta("vertices", strconv.Itoa(g.NumVertices()))
@@ -443,11 +498,11 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		var res *linkclust.Result
 		switch {
 		case *pipeline:
-			res, err = core.SweepPipelinedRecorded(g, pl, *workers, rec)
+			res, err = core.SweepPipelinedCtx(ctx, g, pl, *workers, rec)
 		case *workers > 1:
-			res, err = core.SweepParallelRecorded(g, pl, *workers, rec)
+			res, err = core.SweepParallelCtx(ctx, g, pl, *workers, rec)
 		default:
-			res, err = core.SweepRecorded(g, pl, rec)
+			res, err = core.SweepCtx(ctx, g, pl, rec)
 		}
 		if err != nil {
 			return err
@@ -465,7 +520,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		d = linkclust.NewDendrogram(res)
 	case "coarse":
 		params := linkclust.CoarseParams{Gamma: *gamma, Phi: *phi, Delta0: *delta0, Eta0: *eta0, Workers: *workers}
-		res, err := coarse.SweepRecorded(g, pl, params, rec)
+		res, err := coarse.SweepCtx(ctx, g, pl, params, rec)
 		if err != nil {
 			return err
 		}
@@ -503,6 +558,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err := prf.finish(stdout); err != nil {
 			return err
 		}
+		reportWritten = true
 		return writeReport(rec, *report, stdout)
 	default:
 		return fmt.Errorf("unknown algorithm %q (want sweep, coarse, nbm or slink)", *algo)
@@ -584,6 +640,7 @@ func cmdCluster(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := prf.finish(stdout); err != nil {
 		return err
 	}
+	reportWritten = true
 	return writeReport(rec, *report, stdout)
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -11,14 +13,14 @@ import (
 func pipeline(t *testing.T) string {
 	t.Helper()
 	var tweets bytes.Buffer
-	if err := run([]string{"synth", "-vocab", "300", "-docs", "800", "-topics", "6", "-seed", "3"}, nil, &tweets); err != nil {
+	if err := run(context.Background(), []string{"synth", "-vocab", "300", "-docs", "800", "-topics", "6", "-seed", "3"}, nil, &tweets); err != nil {
 		t.Fatal(err)
 	}
 	if tweets.Len() == 0 {
 		t.Fatal("synth produced nothing")
 	}
 	var g bytes.Buffer
-	if err := run([]string{"graph", "-alpha", "0.3"}, &tweets, &g); err != nil {
+	if err := run(context.Background(), []string{"graph", "-alpha", "0.3"}, &tweets, &g); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(g.String(), "vertices ") {
@@ -30,7 +32,7 @@ func pipeline(t *testing.T) string {
 func TestPipelineStats(t *testing.T) {
 	gtext := pipeline(t)
 	var out bytes.Buffer
-	if err := run([]string{"stats"}, strings.NewReader(gtext), &out); err != nil {
+	if err := run(context.Background(), []string{"stats"}, strings.NewReader(gtext), &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"vertices", "edges", "K1", "K2", "density"} {
@@ -43,7 +45,7 @@ func TestPipelineStats(t *testing.T) {
 func TestClusterSweep(t *testing.T) {
 	gtext := pipeline(t)
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "sweep", "-communities", "3"}, strings.NewReader(gtext), &out)
+	err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-communities", "3"}, strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestClusterSweep(t *testing.T) {
 func TestClusterCoarseAndParallel(t *testing.T) {
 	gtext := pipeline(t)
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "coarse", "-phi", "10", "-delta0", "50", "-workers", "2"},
+	err := run(context.Background(), []string{"cluster", "-algo", "coarse", "-phi", "10", "-delta0", "50", "-workers", "2"},
 		strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -70,14 +72,14 @@ func TestClusterCoarseAndParallel(t *testing.T) {
 func TestClusterBaselines(t *testing.T) {
 	gtext := pipeline(t)
 	var out bytes.Buffer
-	if err := run([]string{"cluster", "-algo", "nbm"}, strings.NewReader(gtext), &out); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-algo", "nbm"}, strings.NewReader(gtext), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "matrix bytes") {
 		t.Fatalf("nbm output:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"cluster", "-algo", "slink"}, strings.NewReader(gtext), &out); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-algo", "slink"}, strings.NewReader(gtext), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "SLINK") {
@@ -88,7 +90,7 @@ func TestClusterBaselines(t *testing.T) {
 func TestClusterMergesFlag(t *testing.T) {
 	gtext := pipeline(t)
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "sweep", "-merges"}, strings.NewReader(gtext), &out)
+	err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-merges"}, strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestBadInvocations(t *testing.T) {
 		{"stats", "-in", "/nonexistent/file"},
 	} {
 		var out bytes.Buffer
-		if err := run(args, strings.NewReader(""), &out); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(""), &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -114,7 +116,7 @@ func TestBadInvocations(t *testing.T) {
 
 func TestGraphEmptyCorpusFails(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"graph"}, strings.NewReader("\n\n"), &out); err == nil {
+	if err := run(context.Background(), []string{"graph"}, strings.NewReader("\n\n"), &out); err == nil {
 		t.Fatal("empty corpus accepted")
 	}
 }
@@ -123,7 +125,7 @@ func TestClusterNewickOutput(t *testing.T) {
 	gtext := pipeline(t)
 	path := t.TempDir() + "/dendro.nwk"
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "sweep", "-newick", path}, strings.NewReader(gtext), &out)
+	err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-newick", path}, strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestSimilCacheAndReuse(t *testing.T) {
 	}
 	ppath := dir + "/pairs.bin"
 	var out bytes.Buffer
-	if err := run([]string{"simil", "-in", gpath, "-out", ppath, "-workers", "2"}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"simil", "-in", gpath, "-out", ppath, "-workers", "2"}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "wrote") {
@@ -157,10 +159,10 @@ func TestSimilCacheAndReuse(t *testing.T) {
 
 	// Clustering from the cache must match clustering from scratch.
 	var fromCache, fromScratch bytes.Buffer
-	if err := run([]string{"cluster", "-in", gpath, "-pairs", ppath, "-algo", "sweep"}, nil, &fromCache); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-in", gpath, "-pairs", ppath, "-algo", "sweep"}, nil, &fromCache); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"cluster", "-in", gpath, "-algo", "sweep"}, nil, &fromScratch); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-in", gpath, "-algo", "sweep"}, nil, &fromScratch); err != nil {
 		t.Fatal(err)
 	}
 	if fromCache.String() != fromScratch.String() {
@@ -172,7 +174,7 @@ func TestSaveMerges(t *testing.T) {
 	gtext := pipeline(t)
 	path := t.TempDir() + "/merges.bin"
 	var out bytes.Buffer
-	if err := run([]string{"cluster", "-algo", "sweep", "-save-merges", path}, strings.NewReader(gtext), &out); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-save-merges", path}, strings.NewReader(gtext), &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -186,7 +188,7 @@ func TestSaveMerges(t *testing.T) {
 
 func TestSimilRequiresOut(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"simil"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+	if err := run(context.Background(), []string{"simil"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
 		t.Fatal("simil without -out accepted")
 	}
 }
@@ -195,7 +197,7 @@ func TestClusterDotOutput(t *testing.T) {
 	gtext := pipeline(t)
 	path := t.TempDir() + "/graph.dot"
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "sweep", "-dot", path}, strings.NewReader(gtext), &out)
+	err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-dot", path}, strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +219,11 @@ func TestAnalyzeFromSavedMerges(t *testing.T) {
 	}
 	mpath := dir + "/merges.bin"
 	var out bytes.Buffer
-	if err := run([]string{"cluster", "-in", gpath, "-algo", "sweep", "-save-merges", mpath}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-in", gpath, "-algo", "sweep", "-save-merges", mpath}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"analyze", "-in", gpath, "-merges", mpath, "-cuts", "5"}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"analyze", "-in", gpath, "-merges", mpath, "-cuts", "5"}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"sim>=", "clusters", "density", "coverage", "max partition density"} {
@@ -233,25 +235,25 @@ func TestAnalyzeFromSavedMerges(t *testing.T) {
 
 func TestAnalyzeErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"analyze"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+	if err := run(context.Background(), []string{"analyze"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
 		t.Fatal("analyze without -merges accepted")
 	}
-	if err := run([]string{"analyze", "-merges", "/nonexistent"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
+	if err := run(context.Background(), []string{"analyze", "-merges", "/nonexistent"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out); err == nil {
 		t.Fatal("missing merges file accepted")
 	}
 }
 
 func TestGraphWorkersFlagMatchesSerial(t *testing.T) {
 	var tweets bytes.Buffer
-	if err := run([]string{"synth", "-vocab", "200", "-docs", "400", "-topics", "4", "-seed", "8"}, nil, &tweets); err != nil {
+	if err := run(context.Background(), []string{"synth", "-vocab", "200", "-docs", "400", "-topics", "4", "-seed", "8"}, nil, &tweets); err != nil {
 		t.Fatal(err)
 	}
 	raw := tweets.String()
 	var serial, parallel bytes.Buffer
-	if err := run([]string{"graph", "-alpha", "0.4"}, strings.NewReader(raw), &serial); err != nil {
+	if err := run(context.Background(), []string{"graph", "-alpha", "0.4"}, strings.NewReader(raw), &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"graph", "-alpha", "0.4", "-workers", "3"}, strings.NewReader(raw), &parallel); err != nil {
+	if err := run(context.Background(), []string{"graph", "-alpha", "0.4", "-workers", "3"}, strings.NewReader(raw), &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -265,11 +267,11 @@ func TestClusterPipelineFlagMatchesPlain(t *testing.T) {
 	plain := dir + "/plain.bin"
 	piped := dir + "/piped.bin"
 	var out bytes.Buffer
-	if err := run([]string{"cluster", "-algo", "sweep", "-save-merges", plain}, strings.NewReader(gtext), &out); err != nil {
+	if err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-save-merges", plain}, strings.NewReader(gtext), &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	err := run([]string{"cluster", "-algo", "sweep", "-pipeline", "-workers", "4", "-save-merges", piped},
+	err := run(context.Background(), []string{"cluster", "-algo", "sweep", "-pipeline", "-workers", "4", "-save-merges", piped},
 		strings.NewReader(gtext), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -292,8 +294,56 @@ func TestClusterPipelineFlagMatchesPlain(t *testing.T) {
 
 func TestClusterPipelineFlagRequiresSweep(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"cluster", "-algo", "coarse", "-pipeline"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out)
+	err := run(context.Background(), []string{"cluster", "-algo", "coarse", "-pipeline"}, strings.NewReader("vertices 2\nedge 0 1 1\n"), &out)
 	if err == nil {
 		t.Fatal("-pipeline accepted with -algo coarse")
+	}
+}
+
+// TestClusterTimeoutWritesPartialReport exercises the -timeout flag: an
+// already-expired deadline must abort the run with the context's error, and
+// the run report must still be written, tagged with that error.
+func TestClusterTimeoutWritesPartialReport(t *testing.T) {
+	gtext := pipeline(t)
+	rpath := t.TempDir() + "/run.json"
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"cluster", "-algo", "sweep", "-timeout", "1ns", "-report", rpath},
+		strings.NewReader(gtext), &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	data, rerr := os.ReadFile(rpath)
+	if rerr != nil {
+		t.Fatalf("partial report not written: %v", rerr)
+	}
+	if !strings.Contains(string(data), "deadline exceeded") {
+		t.Fatalf("partial report missing error tag:\n%s", data)
+	}
+}
+
+// TestSimilTimeout covers the same flag on the simil subcommand.
+func TestSimilTimeout(t *testing.T) {
+	gtext := pipeline(t)
+	ppath := t.TempDir() + "/pairs.bin"
+	var out bytes.Buffer
+	err := run(context.Background(),
+		[]string{"simil", "-out", ppath, "-timeout", "1ns"},
+		strings.NewReader(gtext), &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestClusterCanceledContext models SIGINT: the signal context arrives
+// already canceled and the run must unwind with context.Canceled.
+func TestClusterCanceledContext(t *testing.T) {
+	gtext := pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{"cluster", "-algo", "sweep", "-workers", "4"}, strings.NewReader(gtext), &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,261 @@
+package linkclust
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"linkclust/internal/fault"
+)
+
+// Differential fault-injection harness. Each scenario arms exactly one
+// registry point, runs the pipeline, and checks two things: the armed fault
+// yields a clean, typed error (or, for benign faults, no deviation at all),
+// and with every point disarmed the merge stream is bitwise identical to the
+// golden hash. Armed state is process-global, so every test brackets itself
+// with fault.Reset via t.Cleanup.
+
+func resetFaults(t *testing.T) {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+}
+
+// TestFaultDisarmedMatchesGolden is the harness's control arm: no fault
+// armed, every Ctx engine at several worker counts, golden output. Combined
+// with the per-fault tests below it establishes that the injection points
+// themselves (pure atomic loads when disarmed) do not perturb the schedule.
+func TestFaultDisarmedMatchesGolden(t *testing.T) {
+	resetFaults(t)
+	if n := fault.Armed(); n != 0 {
+		t.Fatalf("%d fault points armed at test entry, want 0", n)
+	}
+	g := goldenGraph(t)
+	for _, workers := range []int{1, 4, 8} {
+		for _, pipeline := range []bool{false, true} {
+			res, err := ClusterCtx(context.Background(), g, ClusterOptions{Workers: workers, Pipeline: pipeline})
+			if err != nil {
+				t.Fatalf("T=%d pipeline=%v: %v", workers, pipeline, err)
+			}
+			if got := sha(canonMerges(res)); got != goldenClusterSHA {
+				t.Fatalf("T=%d pipeline=%v: hash %s, golden %s", workers, pipeline, got, goldenClusterSHA)
+			}
+		}
+	}
+}
+
+// TestFaultWorkerPanic arms the worker-spawn point with a panicking action:
+// every engine must surface a *WorkerPanicError carrying the injected value,
+// never crash, and never leak the rest of its pool.
+func TestFaultWorkerPanic(t *testing.T) {
+	g := goldenGraph(t)
+	pl := Similarity(g)
+	pl.Sort()
+	scenarios := []struct {
+		name string
+		hitN int64
+		run  func() error
+	}{
+		{"similarity", 3, func() error {
+			_, err := SimilarityCtx(context.Background(), g, 4, nil)
+			return err
+		}},
+		{"sweep-parallel", 2, func() error {
+			_, err := SweepParallelCtx(context.Background(), g, clonePairs(pl), 4, nil)
+			return err
+		}},
+		{"sweep-pipelined", 2, func() error {
+			_, err := SweepPipelinedCtx(context.Background(), g, Similarity(g), 4, nil)
+			return err
+		}},
+		{"coarse", 2, func() error {
+			_, err := CoarseClusterCtx(context.Background(), g, DefaultCoarseParams(), ClusterOptions{Workers: 4})
+			return err
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			resetFaults(t)
+			base := runtime.NumGoroutine()
+			fault.Arm(fault.WorkerPanic, sc.hitN, func() { panic("injected worker crash") })
+			err := sc.run()
+			var wpe *WorkerPanicError
+			if !errors.As(err, &wpe) {
+				t.Fatalf("err = %v, want *WorkerPanicError", err)
+			}
+			if v, ok := wpe.Value.(string); !ok || !strings.Contains(v, "injected worker crash") {
+				t.Fatalf("panic value = %v, want the injected one", wpe.Value)
+			}
+			if len(wpe.Stack) == 0 {
+				t.Fatal("WorkerPanicError carries no stack")
+			}
+			waitGoroutinesBack(t, base)
+		})
+	}
+}
+
+// clonePairs deep-copies a pair list so panic scenarios (which leave
+// contents unspecified) never contaminate a shared fixture.
+func clonePairs(pl *PairList) *PairList {
+	return &PairList{Pairs: append([]Pair(nil), pl.Pairs...)}
+}
+
+// TestFaultSlowProducer arms the pipelined sweep's bucket-sort point with a
+// stall: slow must not mean wrong — the merge stream stays golden because
+// every scheduling decision is op-count-, not timing-, based.
+func TestFaultSlowProducer(t *testing.T) {
+	resetFaults(t)
+	g := goldenGraph(t)
+	stalled := false
+	fault.Arm(fault.SlowProducer, 2, func() {
+		stalled = true
+		// A stall long enough to force consumer waits without slowing the
+		// suite: the consumer's stall counters absorb it, the output may not.
+		runtime.Gosched()
+	})
+	res, err := SweepPipelinedCtx(context.Background(), g, Similarity(g), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stalled {
+		t.Fatal("slow-producer point never fired (no second bucket?)")
+	}
+	if got := sha(canonMerges(res)); got != goldenClusterSHA {
+		t.Fatalf("hash %s under a stalled producer, golden %s", got, goldenClusterSHA)
+	}
+}
+
+// TestFaultCancelWindow arms the window-cut point with a context cancel at
+// window K: every engine must return context.Canceled — the typed error, not
+// a crash or a completed result — at worker counts 1..8.
+func TestFaultCancelWindow(t *testing.T) {
+	g := goldenGraph(t)
+	engines := []struct {
+		name string
+		run  func(ctx context.Context, workers int) error
+	}{
+		{"serial", func(ctx context.Context, _ int) error {
+			_, err := SweepCtx(ctx, g, Similarity(g), nil)
+			return err
+		}},
+		{"parallel", func(ctx context.Context, workers int) error {
+			_, err := SweepParallelCtx(ctx, g, Similarity(g), workers, nil)
+			return err
+		}},
+		{"pipelined", func(ctx context.Context, workers int) error {
+			_, err := SweepPipelinedCtx(ctx, g, Similarity(g), workers, nil)
+			return err
+		}},
+		{"coarse", func(ctx context.Context, workers int) error {
+			params := DefaultCoarseParams()
+			params.Workers = workers
+			_, err := CoarseClusterCtx(ctx, g, params, ClusterOptions{})
+			return err
+		}},
+	}
+	base := runtime.NumGoroutine()
+	for _, e := range engines {
+		for workers := 1; workers <= 8; workers++ {
+			resetFaults(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			fault.Arm(fault.CancelWindow, 2, cancel)
+			err := e.run(ctx, workers)
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s T=%d: err = %v, want context.Canceled", e.name, workers, err)
+			}
+		}
+	}
+	waitGoroutinesBack(t, base)
+}
+
+// TestFaultMemBreach arms the budget point: ClusterCtx must degrade to the
+// coarse algorithm, record the degrade counter, and still return a usable
+// result.
+func TestFaultMemBreach(t *testing.T) {
+	resetFaults(t)
+	g := goldenGraph(t)
+	rec := NewRecorder()
+	// A budget far above anything this run allocates: only the injected
+	// breach can trigger the degrade, so the test is deterministic on any
+	// host.
+	fault.Arm(fault.MemBreach, 1, nil)
+	res, err := ClusterCtx(context.Background(), g, ClusterOptions{
+		Workers:        4,
+		Recorder:       rec,
+		MemBudgetBytes: 1 << 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter(CtrMemBudgetDegrades); got != 1 {
+		t.Fatalf("%s = %d, want 1", CtrMemBudgetDegrades, got)
+	}
+	if len(res.Merges) == 0 || res.NumClusters() <= 0 {
+		t.Fatalf("degraded run produced no clustering: %d merges", len(res.Merges))
+	}
+	// The coarse path must actually differ from the fine-grained sweep's
+	// level structure (one level per chunk, not per threshold) — proof the
+	// degrade really rerouted rather than relabeled.
+	fine, err := Cluster(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels >= fine.Levels {
+		t.Fatalf("degraded run has %d levels, fine-grained %d — expected coarser", res.Levels, fine.Levels)
+	}
+
+	// Without the injected breach the same options take the fine-grained
+	// path and stay golden.
+	fault.Reset()
+	rec2 := NewRecorder()
+	res2, err := ClusterCtx(context.Background(), g, ClusterOptions{
+		Workers:        4,
+		Recorder:       rec2,
+		MemBudgetBytes: 1 << 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.Counter(CtrMemBudgetDegrades); got != 0 {
+		t.Fatalf("%s = %d without a breach, want 0", CtrMemBudgetDegrades, got)
+	}
+	if got := sha(canonMerges(res2)); got != goldenClusterSHA {
+		t.Fatalf("hash %s with an unbreached budget, golden %s", got, goldenClusterSHA)
+	}
+}
+
+// TestFaultMatrix is the CI smoke: every registered point armed once with a
+// benign (nil) action against the full pipelined pipeline — the pipeline
+// must either complete golden (a nil action changes nothing) and the hit
+// counter must show the point actually fired where the pipeline passes it.
+func TestFaultMatrix(t *testing.T) {
+	g := goldenGraph(t)
+	// MemBreach fires only when a budget is set; CancelWindow/SlowProducer/
+	// WorkerPanic all fire on the pipelined parallel path.
+	for _, p := range fault.Points() {
+		t.Run(p.String(), func(t *testing.T) {
+			resetFaults(t)
+			fired := false
+			fault.Arm(p, 1, func() { fired = true })
+			opts := ClusterOptions{Workers: 4, Pipeline: true}
+			if p == fault.MemBreach {
+				opts.MemBudgetBytes = 1 << 50
+			}
+			res, err := ClusterCtx(context.Background(), g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fired {
+				t.Fatalf("point %s never fired on the pipelined path", p)
+			}
+			if p != fault.MemBreach { // the nil-action scenarios stay golden
+				if got := sha(canonMerges(res)); got != goldenClusterSHA {
+					t.Fatalf("hash %s with benign %s armed, golden %s", got, p, goldenClusterSHA)
+				}
+			}
+		})
+	}
+}

@@ -1,10 +1,12 @@
 package coarse
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
 	"linkclust/internal/core"
+	"linkclust/internal/fault"
 	"linkclust/internal/graph"
 	"linkclust/internal/obs"
 	"linkclust/internal/par"
@@ -204,6 +206,18 @@ func Sweep(g *graph.Graph, pl *core.PairList, params Params) (*Result, error) {
 // cost of parallel runs are recorded into rec. A nil rec records nothing
 // and adds no measurable overhead.
 func SweepRecorded(g *graph.Graph, pl *core.PairList, params Params, rec *obs.Recorder) (*Result, error) {
+	return SweepCtx(context.Background(), g, pl, params, rec)
+}
+
+// SweepCtx is SweepRecorded with cooperative cancellation and panic
+// isolation. The context is checked at every chunk boundary — the coarse
+// sweep's natural synchronization points, where the replica fan-out is
+// quiescent — plus inside the initial parallel sort, so cancel latency is
+// bounded by one chunk of merge work (chunks start at Delta0 operations and
+// grow adaptively). A panic inside the replica fan-out surfaces as a
+// *par.WorkerPanicError.
+func SweepCtx(ctx context.Context, g *graph.Graph, pl *core.PairList, params Params, rec *obs.Recorder) (res *Result, err error) {
+	defer par.RecoverPanicError(&err)
 	params.Workers = par.Normalize(params.Workers)
 	if err := params.validate(); err != nil {
 		return nil, err
@@ -211,7 +225,7 @@ func SweepRecorded(g *graph.Graph, pl *core.PairList, params Params, rec *obs.Re
 	end := rec.Phase("coarse")
 	defer end()
 	endSort := rec.Phase("sort-worklist")
-	w, err := buildWorkList(g, pl)
+	w, err := buildWorkListCtx(ctx, g, pl, params.Workers)
 	endSort()
 	if err != nil {
 		return nil, err
@@ -221,6 +235,7 @@ func SweepRecorded(g *graph.Graph, pl *core.PairList, params Params, rec *obs.Re
 		gTilde = (1 + params.Gamma) / 2
 	}
 	s := &sweeper{
+		ctx:    ctx,
 		params: params,
 		gTilde: gTilde,
 		w:      w,
@@ -272,6 +287,8 @@ func (s *sweeper) recordEpochStats() {
 }
 
 type sweeper struct {
+	// ctx is polled at every chunk boundary; nil means not cancellable.
+	ctx    context.Context
 	params Params
 	gTilde float64
 	w      *workList
@@ -305,6 +322,16 @@ func (s *sweeper) run() {
 		return // trivially few clusters
 	}
 	for s.p < s.w.numPairs() {
+		// Chunk boundaries are the coarse sweep's cancellation points (and
+		// fault.CancelWindow injection sites): the replica fan-out is
+		// quiescent here, so stopping leaves no goroutine behind.
+		fault.Hit(fault.CancelWindow)
+		if s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				return
+			}
+		}
 		oldSnap := s.chain.Snapshot()
 		changesBefore := s.chain.Changes()
 		opsBefore := s.xi

@@ -15,10 +15,12 @@
 package coarse
 
 import (
+	"context"
 	"fmt"
 
 	"linkclust/internal/core"
 	"linkclust/internal/graph"
+	"linkclust/internal/par"
 )
 
 // workList adapts the sorted list L for chunked processing. Edge lookups
@@ -35,7 +37,18 @@ type workList struct {
 
 // buildWorkList wraps the pair list, sorting it if needed.
 func buildWorkList(g *graph.Graph, pl *core.PairList) (*workList, error) {
-	pl.Sort()
+	return buildWorkListCtx(context.Background(), g, pl, 0)
+}
+
+// buildWorkListCtx is buildWorkList with a cancellable sort; workers <= 0
+// selects the default sort parallelism.
+func buildWorkListCtx(ctx context.Context, g *graph.Graph, pl *core.PairList, workers int) (*workList, error) {
+	if workers <= 0 {
+		workers = par.DefaultCap()
+	}
+	if err := pl.SortWorkersCtx(ctx, workers); err != nil {
+		return nil, err
+	}
 	return &workList{g: g, pairs: pl.Pairs, total: pl.NumIncidentPairs()}, nil
 }
 

@@ -1,6 +1,6 @@
 package core
 
-import "sync"
+import "linkclust/internal/par"
 
 // MergeOpsMinReplicated is the op-count threshold below which
 // MergeOpsReplicated never attempts replica processing: each worker pays an
@@ -40,32 +40,23 @@ func MergeOpsReplicated(ch *Chain, ops [][2]int32, workers int) (clones, folds i
 		return 0, 0
 	}
 
+	// Both fan-outs run through par.Run so a panic inside Merge or
+	// MergeChains is isolated and re-raised typed instead of crashing.
 	replicas := make([]*Chain, workers)
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			r := ch.Clone()
-			for i := t; i < len(ops); i += workers {
-				r.Merge(ops[i][0], ops[i][1])
-			}
-			replicas[t] = r
-		}(t)
-	}
-	wg.Wait()
+	par.Run(workers, func(t int, _ func() bool) {
+		r := ch.Clone()
+		for i := t; i < len(ops); i += workers {
+			r.Merge(ops[i][0], ops[i][1])
+		}
+		replicas[t] = r
+	})
 
 	for len(replicas) > 3 {
 		half := len(replicas) / 2
-		for i := 0; i < half; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				MergeChains(replicas[2*i], replicas[2*i+1])
-				replicas[2*i].AddChanges(replicas[2*i+1].Changes())
-			}(i)
-		}
-		wg.Wait()
+		par.Run(half, func(i int, _ func() bool) {
+			MergeChains(replicas[2*i], replicas[2*i+1])
+			replicas[2*i].AddChanges(replicas[2*i+1].Changes())
+		})
 		folds += int64(half)
 		next := make([]*Chain, 0, half+1)
 		for i := 0; i < half; i++ {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sync/atomic"
 	"time"
 
+	"linkclust/internal/fault"
 	"linkclust/internal/graph"
 	"linkclust/internal/obs"
 	"linkclust/internal/par"
@@ -194,11 +196,27 @@ func SweepPipelined(g *graph.Graph, pl *PairList, workers int) (*Result, error) 
 // window/round counters, and the pipeline's bucket/stall/overlap counters
 // are recorded into rec. A nil rec records nothing.
 func SweepPipelinedRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (*Result, error) {
+	return SweepPipelinedCtx(context.Background(), g, pl, workers, rec)
+}
+
+// SweepPipelinedCtx is SweepPipelinedRecorded with cooperative cancellation
+// and panic isolation. Cancellation points are the engine's op-count window
+// cuts on the consumer side and the producer's bucket claims and publishes
+// (via par.OrderedCtx), so cancel latency is bounded by max(one window, one
+// bucket sort) and the producer/consumer pair shuts down without stranding
+// either party: the consumer cancels the producer and drains the frontier
+// channel until it closes, and a producer blocked publishing observes the
+// cancellation and exits. On cancellation the pair list is left unsorted but
+// remains a valid permutation of its input, so a later sort or sweep can
+// reuse it. A panic inside any pool surfaces as a *par.WorkerPanicError (the
+// list contents are unspecified in that case and must be discarded).
+func SweepPipelinedCtx(ctx context.Context, g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (res *Result, err error) {
+	defer par.RecoverPanicError(&err)
 	workers = par.Normalize(workers)
 	end := rec.Phase("sweep")
 	defer end()
 
-	e := &sweepEngine{g: g, pl: pl, workers: workers}
+	e := &sweepEngine{g: g, pl: pl, workers: workers, ctx: ctx}
 	e.init()
 
 	if pl.Sorted() {
@@ -217,16 +235,27 @@ func SweepPipelinedRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.
 	endPart := rec.Phase("partition")
 	part := partitionPairs(pl.Pairs, workers)
 	endPart()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	endMerge := rec.Phase("merge")
 	defer endMerge()
 
+	// prodCtx is canceled when the consumer stops consuming (its own error
+	// or outer cancellation), releasing producer workers blocked on a claim
+	// or a publish.
+	prodCtx, stopProducer := context.WithCancel(ctx)
+	defer stopProducer()
+
 	var sortNs atomic.Int64
 	frontiers := make(chan int, pipelineBucketAhead)
+	prodDone := make(chan error, 1)
 	go func() {
 		defer close(frontiers)
 		pairs := pl.Pairs
-		par.Ordered(len(part.buckets), pipelineSorters(workers), func(i int) {
+		prodDone <- par.OrderedCtx(prodCtx, len(part.buckets), pipelineSorters(workers), func(i int) {
+			fault.Hit(fault.SlowProducer)
 			b := part.buckets[i]
 			t0 := time.Now()
 			slices.SortFunc(part.scratch[part.offs[b]:part.offs[b+1]], cmpPairs)
@@ -237,12 +266,30 @@ func SweepPipelinedRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.
 			t0 := time.Now()
 			copy(pairs[lo:hi], part.scratch[lo:hi])
 			sortNs.Add(time.Since(t0).Nanoseconds())
-			frontiers <- hi
+			select {
+			case frontiers <- hi:
+			case <-prodCtx.Done():
+				// The consumer has abandoned the stream; the emitter's next
+				// iteration observes the cancellation and stops.
+			}
 		})
 	}()
 
+	// If the consumer panics mid-stream (engine pool panic), join the
+	// producer before unwinding: release it, drain the channel to its close,
+	// and wait for its pool — otherwise its in-place copies could race with
+	// whatever the caller does after recovering the error.
+	prodJoined := false
+	defer func() {
+		if !prodJoined {
+			stopProducer()
+			for range frontiers {
+			}
+			<-prodDone
+		}
+	}()
+
 	var stalls, stallNs int64
-	var err error
 	for {
 		var f int
 		var ok bool
@@ -261,17 +308,35 @@ func SweepPipelinedRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.
 		}
 		if err == nil {
 			err = e.consume(f, false)
-			// On error, keep draining so the producer finishes writing
-			// pl.Pairs and exits; returning mid-stream would race its
-			// in-place copies.
+			if err != nil {
+				// Release the producer, then keep draining until the channel
+				// closes so its pool fully unwinds before we return;
+				// returning mid-stream would race its in-place copies.
+				stopProducer()
+			}
 		}
+	}
+	prodJoined = true
+	perr := <-prodDone
+	if perr == nil {
+		// The producer emitted (and therefore sorted and copied) every
+		// bucket, so the list is now list L.
+		pl.sorted = true
+	} else {
+		// The producer stopped early: buckets it never emitted were never
+		// copied into place, so pl.Pairs is a mixture of sorted buckets and
+		// stale pre-partition entries — not a permutation. scratch holds the
+		// complete partition (every pair exactly once), and the producer's
+		// pool has fully drained, so restoring it wholesale leaves the list a
+		// valid unsorted permutation that a later sort or sweep can reuse.
+		copy(pl.Pairs, part.scratch)
+	}
+	if err == nil {
+		err = perr
 	}
 	if err == nil {
 		err = e.consume(len(pl.Pairs), true)
 	}
-	// The producer has emitted (and therefore sorted and copied) every
-	// bucket once the channel closes, so the list is now list L.
-	pl.sorted = true
 	if err != nil {
 		return nil, err
 	}

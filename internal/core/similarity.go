@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"linkclust/internal/graph"
@@ -103,6 +104,23 @@ func (pl *PairList) SortWorkers(workers int) {
 	}
 	par.SortFunc(pl.Pairs, workers, cmpPairs)
 	pl.sorted = true
+}
+
+// SortWorkersCtx is SortWorkers with cooperative cancellation and panic
+// isolation: it returns nil with the list sorted (and the sorted flag set);
+// ctx.Err() on cancellation, leaving the flag clear and the pairs an
+// unspecified permutation (callers must treat the list as unsorted); or a
+// *par.WorkerPanicError if the comparator panicked, in which case the list
+// contents are unspecified and the run must be abandoned.
+func (pl *PairList) SortWorkersCtx(ctx context.Context, workers int) error {
+	if pl.sorted {
+		return ctx.Err()
+	}
+	if err := par.SortFuncCtx(ctx, pl.Pairs, workers, cmpPairs); err != nil {
+		return err
+	}
+	pl.sorted = true
+	return nil
 }
 
 // Sorted reports whether Sort has run.

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
-	"sync"
 	"sync/atomic"
 
 	"linkclust/internal/graph"
@@ -215,6 +215,15 @@ func SimilarityWedge(g *graph.Graph) *PairList {
 
 // SimilarityWedgeRecorded is SimilarityWedge with optional instrumentation.
 func SimilarityWedgeRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
+	// A background context never cancels, so the error is impossible.
+	pl, _ := similarityWedgeCtx(context.Background(), g, rec)
+	return pl
+}
+
+// similarityWedgeCtx is the serial wedge-major kernel with cooperative
+// cancellation: the context is checked every wedgeRowBlock rows, matching the
+// parallel kernel's claim granularity.
+func similarityWedgeCtx(ctx context.Context, g *graph.Graph, rec *obs.Recorder) (*PairList, error) {
 	end := rec.Phase("similarity")
 	defer end()
 	n := g.NumVertices()
@@ -225,6 +234,7 @@ func SimilarityWedgeRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
 	endPass()
 
 	endPass = rec.Phase("pass2-wedge-rows")
+	defer endPass()
 	ra := newRowAccum(n)
 	chunk := 4 * g.NumEdges()
 	if chunk < 1024 {
@@ -234,6 +244,11 @@ func SimilarityWedgeRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
 	pairs := make([]Pair, 0, g.NumEdges())
 	var rows int64
 	for u := 0; u < n; u++ {
+		if u%wedgeRowBlock == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		w := ra.enumerateRow(g, u)
 		if w > 0 {
 			rows++
@@ -245,12 +260,11 @@ func SimilarityWedgeRecorded(g *graph.Graph, rec *obs.Recorder) *PairList {
 		}
 		ra.resetMarks(g, u)
 	}
-	endPass()
 
 	pl := &PairList{Pairs: pairs}
 	recordPairListStats(rec, pl)
 	rec.Add(CtrSimilarityWedgeRows, rows)
-	return pl
+	return pl, nil
 }
 
 // SimilarityWedgeParallel runs Algorithm 1 with the wedge-major kernel and
@@ -273,11 +287,37 @@ func SimilarityWedgeParallel(g *graph.Graph, workers int) *PairList {
 const wedgeRowBlock = 256
 
 // SimilarityWedgeParallelRecorded is SimilarityWedgeParallel with optional
-// instrumentation.
+// instrumentation. A panic inside the kernel propagates to the caller as a
+// *par.WorkerPanicError panic (use SimilarityCtx for an error return).
 func SimilarityWedgeParallelRecorded(g *graph.Graph, workers int, rec *obs.Recorder) *PairList {
+	// A background context never cancels, so the error is impossible.
+	pl, _ := similarityWedgeParallelCtx(context.Background(), g, workers, rec)
+	return pl
+}
+
+// SimilarityCtx is the cancellable, panic-isolated entry point of Algorithm 1:
+// SimilarityParallelRecorded with cooperative cancellation. The context is
+// checked at every row-block claim (wedgeRowBlock rows), in the serial path as
+// in the parallel one, so cancel latency is bounded by one block of rows per
+// worker. On cancellation it returns ctx.Err() and the partial output is
+// discarded; a panic inside the kernel surfaces as a *par.WorkerPanicError.
+func SimilarityCtx(ctx context.Context, g *graph.Graph, workers int, rec *obs.Recorder) (pl *PairList, err error) {
+	defer par.RecoverPanicError(&err)
 	workers = par.Normalize(workers)
 	if workers < 2 {
-		return SimilarityWedgeRecorded(g, rec)
+		return similarityWedgeCtx(ctx, g, rec)
+	}
+	return similarityWedgeParallelCtx(ctx, g, workers, rec)
+}
+
+// similarityWedgeParallelCtx is the parallel wedge-major kernel. Fan-outs run
+// through par.Run (panic isolation); the dynamic row cursor of passes 2 and 3
+// doubles as the cancellation point — workers re-check the context at every
+// block claim and stop claiming when it is canceled or a sibling panicked.
+func similarityWedgeParallelCtx(ctx context.Context, g *graph.Graph, workers int, rec *obs.Recorder) (*PairList, error) {
+	workers = par.Normalize(workers)
+	if workers < 2 {
+		return similarityWedgeCtx(ctx, g, rec)
 	}
 	end := rec.Phase("similarity")
 	defer end()
@@ -287,21 +327,13 @@ func SimilarityWedgeParallelRecorded(g *graph.Graph, workers int, rec *obs.Recor
 
 	// Pass 1: vertex norms over contiguous blocks (disjoint writes).
 	endPass := rec.Phase("pass1-norms")
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		lo := t * n / workers
-		hi := (t + 1) * n / workers
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			vertexNorms(g, h1, h2, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.Do(n, workers, func(_, lo, hi int) {
+		vertexNorms(g, h1, h2, lo, hi)
+	})
 	endPass()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Per-worker scratch, shared by both passes.
 	accs := make([]*rowAccum, workers)
@@ -314,26 +346,29 @@ func SimilarityWedgeParallelRecorded(g *graph.Graph, workers int, rec *obs.Recor
 	rowPairs := make([]int32, n)
 	rowWedges := make([]int64, n)
 	var cursor atomic.Int64
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(ra *rowAccum) {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
-				if lo >= n {
-					return
-				}
-				hi := lo + wedgeRowBlock
-				if hi > n {
-					hi = n
-				}
-				for u := lo; u < hi; u++ {
-					rowPairs[u], rowWedges[u] = ra.countRow(g, u)
-				}
+	par.Run(workers, func(t int, aborted func() bool) {
+		ra := accs[t]
+		for {
+			if aborted() || ctx.Err() != nil {
+				return
 			}
-		}(accs[t])
+			lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
+			if lo >= n {
+				return
+			}
+			hi := lo + wedgeRowBlock
+			if hi > n {
+				hi = n
+			}
+			for u := lo; u < hi; u++ {
+				rowPairs[u], rowWedges[u] = ra.countRow(g, u)
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		endPass()
+		return nil, err
 	}
-	wg.Wait()
 
 	// CSR offsets (serial O(|V|) prefix sums).
 	pairOff := make([]int64, n+1)
@@ -354,38 +389,40 @@ func SimilarityWedgeParallelRecorded(g *graph.Graph, workers int, rec *obs.Recor
 	pairs := make([]Pair, pairOff[n])
 	arena := make([]int32, wedgeOff[n])
 	cursor.Store(0)
-	for t := 0; t < workers; t++ {
-		wg.Add(1)
-		go func(ra *rowAccum) {
-			defer wg.Done()
-			for {
-				lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
-				if lo >= n {
-					return
-				}
-				hi := lo + wedgeRowBlock
-				if hi > n {
-					hi = n
-				}
-				for u := lo; u < hi; u++ {
-					w := ra.enumerateRow(g, u)
-					if int64(w) != rowWedges[u] || len(ra.touched) != int(rowPairs[u]) {
-						panic(fmt.Sprintf("core: wedge fill pass disagrees with count pass at row %d (%d/%d wedges, %d/%d pairs)",
-							u, w, rowWedges[u], len(ra.touched), rowPairs[u]))
-					}
-					if w > 0 {
-						ra.emitRow(u, h1, h2, pairs[pairOff[u]:pairOff[u+1]], arena[wedgeOff[u]:wedgeOff[u+1]])
-					}
-					ra.resetMarks(g, u)
-				}
+	par.Run(workers, func(t int, aborted func() bool) {
+		ra := accs[t]
+		for {
+			if aborted() || ctx.Err() != nil {
+				return
 			}
-		}(accs[t])
-	}
-	wg.Wait()
+			lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
+			if lo >= n {
+				return
+			}
+			hi := lo + wedgeRowBlock
+			if hi > n {
+				hi = n
+			}
+			for u := lo; u < hi; u++ {
+				w := ra.enumerateRow(g, u)
+				if int64(w) != rowWedges[u] || len(ra.touched) != int(rowPairs[u]) {
+					panic(fmt.Sprintf("core: wedge fill pass disagrees with count pass at row %d (%d/%d wedges, %d/%d pairs)",
+						u, w, rowWedges[u], len(ra.touched), rowPairs[u]))
+				}
+				if w > 0 {
+					ra.emitRow(u, h1, h2, pairs[pairOff[u]:pairOff[u+1]], arena[wedgeOff[u]:wedgeOff[u+1]])
+				}
+				ra.resetMarks(g, u)
+			}
+		}
+	})
 	endPass()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	pl := &PairList{Pairs: pairs}
 	recordPairListStats(rec, pl)
 	rec.Add(CtrSimilarityWedgeRows, rows)
-	return pl
+	return pl, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"linkclust/internal/fault"
 	"linkclust/internal/graph"
 	"linkclust/internal/obs"
 	"linkclust/internal/par"
@@ -87,17 +89,33 @@ func SweepParallel(g *graph.Graph, pl *PairList, workers int) (*Result, error) {
 // window/round/deferral counters are recorded into rec. A nil rec records
 // nothing and adds no measurable overhead.
 func SweepParallelRecorded(g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (*Result, error) {
+	return SweepParallelCtx(context.Background(), g, pl, workers, rec)
+}
+
+// SweepParallelCtx is SweepParallelRecorded with cooperative cancellation and
+// panic isolation. The context is checked at every op-count window cut (8192
+// incident operations) and inside the parallel sort, so cancel latency is
+// bounded by one window of merge work (or one sort round) for any worker
+// count; on cancellation every pool drains before ctx.Err() is returned, so
+// no goroutine outlives the call. A panic inside a worker surfaces as a
+// *par.WorkerPanicError. The checks are pure reads — when ctx never cancels,
+// the merge stream is bitwise identical to the serial Sweep.
+func SweepParallelCtx(ctx context.Context, g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (res *Result, err error) {
+	defer par.RecoverPanicError(&err)
 	workers = par.Normalize(workers)
 	end := rec.Phase("sweep")
 	defer end()
 	endSort := rec.Phase("sort")
-	pl.SortWorkers(workers)
+	serr := pl.SortWorkersCtx(ctx, workers)
 	endSort()
+	if serr != nil {
+		return nil, serr
+	}
 	endMerge := rec.Phase("merge")
 	defer endMerge()
 
-	e := &sweepEngine{g: g, pl: pl, workers: workers}
-	res, err := e.run()
+	e := &sweepEngine{g: g, pl: pl, workers: workers, ctx: ctx}
+	res, err = e.run()
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +131,12 @@ type sweepEngine struct {
 	ch      *Chain
 	workers int
 	res     *Result
+
+	// ctx is the run's cancellation context; nil means not cancellable
+	// (legacy entry points). It is polled at every window cut in consume —
+	// the engine's sole cancellation point, which bounds cancel latency by
+	// one window of operations.
+	ctx context.Context
 
 	// Flat CSR copy of the adjacency with neighbor id and edge id packed
 	// into one uint64 (id in the high half so packed order = neighbor
@@ -229,6 +253,16 @@ func (e *sweepEngine) consume(frontier int, final bool) error {
 		}
 		e.offs = append(e.offs, int32(e.wops))
 		if w := e.wops; w > 0 {
+			// The window cut is the engine's cancellation point (and the
+			// fault.CancelWindow injection site): one check per
+			// sweepWindowOps operations bounds cancel latency by one window
+			// without touching any per-op hot path.
+			fault.Hit(fault.CancelWindow)
+			if e.ctx != nil {
+				if err := e.ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := e.window(e.wp, e.wq, w); err != nil {
 				return err
 			}
@@ -352,7 +386,10 @@ func (e *sweepEngine) resolve(p0, p1, w int) int {
 		e.resolveRange(p0, p0, p1, &e.wbuf[0])
 		used = 1
 	} else {
-		var wg sync.WaitGroup
+		// Precompute the balanced pair ranges, then fan out through par.Run
+		// so a panic inside resolution is isolated like every other pool.
+		type resolveRange struct{ lo, hi int }
+		var ranges []resolveRange
 		prev := 0
 		for t := 0; t < e.workers && prev < np; t++ {
 			target := w * (t + 1) / e.workers
@@ -366,17 +403,14 @@ func (e *sweepEngine) resolve(p0, p1, w int) int {
 			if end == prev {
 				continue
 			}
-			b := &e.wbuf[used]
-			b.reset()
+			e.wbuf[used].reset()
+			ranges = append(ranges, resolveRange{lo: p0 + prev, hi: p0 + end})
 			used++
-			wg.Add(1)
-			go func(lo, hi int, b *survivorBuf) {
-				defer wg.Done()
-				e.resolveRange(p0, lo, hi, b)
-			}(p0+prev, p0+end, b)
 			prev = end
 		}
-		wg.Wait()
+		par.Run(len(ranges), func(t int, _ func() bool) {
+			e.resolveRange(p0, ranges[t].lo, ranges[t].hi, &e.wbuf[t])
+		})
 	}
 	e.sIdx = e.sIdx[:0]
 	e.e1, e.e2 = e.e1[:0], e.e2[:0]

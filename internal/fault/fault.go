@@ -1,0 +1,149 @@
+// Package fault provides deterministic, always-compiled fault-injection
+// points for the execution layer's failure-behavior tests. Production code
+// calls Hit at a small set of named sites (the registry below); a test arms
+// a point with the ordinal of the hit that should fire and an action to run
+// at that hit — panic, cancel a context, sleep, or nothing (the caller can
+// branch on Hit's return value instead, as the memory-budget check does).
+//
+// The design constraints mirror the differential harness the points feed:
+//
+//   - Deterministic addressing. A point fires at its N-th hit, counted by a
+//     global atomic per point. At serial sites (window cuts, budget checks,
+//     ordered bucket emissions) the N-th hit is the same program state on
+//     every run, so a fault is a reproducible coordinate, not a probability.
+//     At concurrent sites (worker spawns) the N-th hit may land on any
+//     worker, but the *observable* outcome — a typed error from the entry
+//     point — is identical.
+//   - Zero cost when disarmed. The fast path is one atomic load; no point
+//     allocates, and nothing is registered at init time. The package is
+//     compiled into release builds (no build tags), so the tested binary is
+//     the shipped binary.
+//   - No dependencies. The package imports only the standard library and is
+//     imported by internal/par and internal/obs; it must never import
+//     anything from this module.
+//
+// Tests must call Reset (typically via defer) after arming points; armed
+// state is process-global.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point identifies one injection site. The registry is intentionally small:
+// every point is documented in DESIGN.md and exercised by the fault-matrix
+// CI job.
+type Point uint8
+
+const (
+	// WorkerPanic fires in a par worker pool immediately before the worker
+	// body runs — one hit per worker launch. Arming it with a panicking
+	// action simulates a crash inside a fan-out; the pool must recover it,
+	// cancel its siblings, and surface a typed *par.WorkerPanicError.
+	WorkerPanic Point = iota
+	// SlowProducer fires in the pipelined sweep's bucket producer, once per
+	// bucket sorted. Arming it with a sleep simulates a stalled sort stage;
+	// the merge stream must stay bitwise identical (slow is not wrong).
+	SlowProducer
+	// CancelWindow fires at every op-count window cut of the sweep engine —
+	// the engine's cancellation points. Arming it with a context-cancel
+	// action at hit K cancels the run at window K exactly, which is how the
+	// harness pins the one-window cancel-latency bound.
+	CancelWindow
+	// MemBreach fires at every memory-budget phase-boundary check. The
+	// budget check treats a firing hit as a breach, forcing the degrade
+	// path without having to actually exhaust the heap.
+	MemBreach
+	numPoints
+)
+
+// String returns the registry name of the point.
+func (p Point) String() string {
+	switch p {
+	case WorkerPanic:
+		return "worker-panic"
+	case SlowProducer:
+		return "slow-producer"
+	case CancelWindow:
+		return "cancel-window"
+	case MemBreach:
+		return "mem-breach"
+	default:
+		return "invalid"
+	}
+}
+
+// Points returns every registered injection point, for docs and the
+// fault-matrix test that arms each one in turn.
+func Points() []Point {
+	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach}
+}
+
+type arming struct {
+	hitN   int64
+	action func()
+}
+
+var (
+	// armedCount gates the fast path: zero means every Hit is a single
+	// atomic load and an immediate return.
+	armedCount atomic.Int32
+	mu         sync.Mutex
+	armed      [numPoints]atomic.Pointer[arming]
+	hits       [numPoints]atomic.Int64
+)
+
+// Arm schedules action to run at the hitN-th Hit of p (1-based) counted from
+// the last Reset. A nil action is valid: the firing hit then only reports
+// true to its call site. Re-arming a point replaces its previous arming; the
+// hit counter is not reset (use Reset between scenarios).
+func Arm(p Point, hitN int64, action func()) {
+	if p >= numPoints || hitN < 1 {
+		panic("fault: invalid arming")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if armed[p].Swap(&arming{hitN: hitN, action: action}) == nil {
+		armedCount.Add(1)
+	}
+}
+
+// Reset disarms every point and zeroes every hit counter. Tests that arm
+// points must defer a Reset; armed state is process-global.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for p := Point(0); p < numPoints; p++ {
+		if armed[p].Swap(nil) != nil {
+			armedCount.Add(-1)
+		}
+		hits[p].Store(0)
+	}
+}
+
+// Armed reports how many points are currently armed. The golden differential
+// tests assert 0 before pinning hashes.
+func Armed() int {
+	return int(armedCount.Load())
+}
+
+// Hit records one arrival at point p and reports whether the armed action
+// fired at this hit. When no point is armed anywhere in the process, Hit is
+// one atomic load. Hits are counted only while at least one point is armed,
+// so a test's hit ordinals are relative to its own Arm/Reset bracket rather
+// than to process history.
+func Hit(p Point) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	n := hits[p].Add(1)
+	a := armed[p].Load()
+	if a == nil || n != a.hitN {
+		return false
+	}
+	if a.action != nil {
+		a.action()
+	}
+	return true
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel error classes for graph construction and parsing. Construction
+// errors (Builder.AddEdge) wrap these so callers can classify failures with
+// errors.Is regardless of the formatted detail; Read additionally wraps them
+// in a *ParseError carrying the offending line number.
+var (
+	// ErrVertexRange marks a vertex id outside [0, NumVertices()) or a
+	// vertex count that does not fit the int32 id space.
+	ErrVertexRange = errors.New("vertex id out of range")
+	// ErrSelfLoop marks an edge whose endpoints coincide.
+	ErrSelfLoop = errors.New("self-loop")
+	// ErrBadWeight marks an edge weight that is not a positive finite
+	// number (zero, negative, NaN, or infinite).
+	ErrBadWeight = errors.New("invalid edge weight")
+	// ErrDuplicateEdge marks a repeated endpoint pair in a serialized graph.
+	// Only Read rejects duplicates; the programmatic Builder keeps its
+	// documented last-write-wins semantics.
+	ErrDuplicateEdge = errors.New("duplicate edge")
+)
+
+// ParseError is the typed error returned by Read for malformed input: the
+// 1-based line number of the offending line and the underlying cause, which
+// wraps one of the sentinel classes above where applicable. Match with
+// errors.As for the location or errors.Is for the class.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("graph: line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseErrf builds a *ParseError whose cause is a formatted message; pass a
+// %w verb to chain a sentinel class.
+func parseErrf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Err: fmt.Errorf(format, args...)}
+}

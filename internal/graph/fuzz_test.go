@@ -2,14 +2,35 @@ package graph
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-// FuzzRead asserts the parser's robustness contract: arbitrary input never
-// panics, and anything it accepts survives a Write/Read round trip
-// unchanged.
-func FuzzRead(f *testing.F) {
+// fuzzVertexCap bounds the vertex counts the fuzzer is willing to build:
+// Read legitimately accepts any count in the int32 id space, but Build
+// reserves O(n) adjacency headers, so a hostile "vertices 2000000000" would
+// be an allocation bomb for the fuzz process rather than a parser bug.
+const fuzzVertexCap = 1 << 20
+
+// declaresHugeGraph reports whether input contains a vertices directive the
+// fuzzer should not materialize.
+func declaresHugeGraph(input string) bool {
+	for _, line := range strings.Split(input, "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 2 && fields[0] == "vertices" {
+			if n, err := strconv.Atoi(fields[1]); err == nil && n > fuzzVertexCap {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuzzReadGraph asserts the parser's robustness contract on hostile input:
+// arbitrary bytes never panic, rejection is always a clean error, and
+// anything accepted survives a Write/Read round trip unchanged.
+func FuzzReadGraph(f *testing.F) {
 	f.Add("vertices 3\nedge 0 1 1.5\nedge 1 2 2\n")
 	f.Add("vertices 2\nlabel 0 hello\nedge 0 1 0.25\n")
 	f.Add("# comment only\n")
@@ -17,7 +38,22 @@ func FuzzRead(f *testing.F) {
 	f.Add("vertices 1\nedge 0 0 1\n")
 	f.Add("vertices -3\n")
 	f.Add("edge 1 2 3\nvertices 4\n")
+	// Hostile classes: non-finite and non-positive weights, duplicate pairs,
+	// id-space overflow, junk numerals.
+	f.Add("vertices 2\nedge 0 1 NaN\n")
+	f.Add("vertices 2\nedge 0 1 +Inf\n")
+	f.Add("vertices 2\nedge 0 1 -Inf\n")
+	f.Add("vertices 2\nedge 0 1 -0.5\n")
+	f.Add("vertices 2\nedge 0 1 0\n")
+	f.Add("vertices 3\nedge 0 1 1\nedge 1 0 2\n")
+	f.Add("vertices 2147483647\n")
+	f.Add("vertices 9223372036854775807\n")
+	f.Add("vertices 2\nedge 0 1 1e400\n")
+	f.Add("vertices 2\nedge 00 01 1\n")
 	f.Fuzz(func(t *testing.T, input string) {
+		if declaresHugeGraph(input) {
+			t.Skip("vertex count above the fuzz materialization cap")
+		}
 		g, err := Read(strings.NewReader(input))
 		if err != nil {
 			return // rejection is fine; panics are not

@@ -142,16 +142,18 @@ func (b *Builder) NumEdges() int { return len(b.us) }
 
 // AddEdge inserts the undirected edge {u, v} with the given weight. Adding
 // the same pair again overwrites the weight (last write wins). It returns an
-// error for out-of-range endpoints, self-loops, or non-positive weights.
+// error wrapping ErrVertexRange, ErrSelfLoop, or ErrBadWeight for
+// out-of-range endpoints, self-loops, or weights that are not positive
+// finite numbers (zero, negative, NaN, ±Inf).
 func (b *Builder) AddEdge(u, v int, w float64) error {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
-		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return fmt.Errorf("graph: edge (%d,%d) outside [0,%d): %w", u, v, b.n, ErrVertexRange)
 	}
 	if u == v {
-		return fmt.Errorf("graph: self-loop at vertex %d", u)
+		return fmt.Errorf("graph: edge (%d,%d): %w", u, v, ErrSelfLoop)
 	}
 	if !(w > 0) || math.IsInf(w, 1) {
-		return fmt.Errorf("graph: edge (%d,%d) has invalid weight %v (must be positive and finite)", u, v, w)
+		return fmt.Errorf("graph: edge (%d,%d) weight %v (must be positive and finite): %w", u, v, w, ErrBadWeight)
 	}
 	if u > v {
 		u, v = v, u
@@ -166,6 +168,19 @@ func (b *Builder) AddEdge(u, v int, w float64) error {
 	b.vs = append(b.vs, int32(v))
 	b.ws = append(b.ws, w)
 	return nil
+}
+
+// HasEdge reports whether the pair {u, v} has already been added.
+// Out-of-range endpoints simply report false.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.seen[[2]int32{int32(u), int32(v)}]
+	return ok
 }
 
 // MustAddEdge is AddEdge that panics on error; intended for tests and

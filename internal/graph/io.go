@@ -32,7 +32,21 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in the text format produced by Write.
+// maxReadVertices caps the vertex count Read accepts: vertex and edge ids
+// are int32 internally, so counts past the int32 id space are structurally
+// unrepresentable and would silently truncate. (Counts below the cap can
+// still be large allocations — Build reserves O(n) adjacency headers — so
+// callers reading untrusted input from quota-bound contexts should impose
+// their own size policy before Read.)
+const maxReadVertices = 1 << 31
+
+// Read parses a graph in the text format produced by Write. Input is treated
+// as untrusted: malformed directives, vertex ids outside the declared range
+// or the int32 id space, self-loops, duplicate endpoint pairs, and weights
+// that are not positive finite numbers (zero, negative, NaN, ±Inf) are all
+// rejected with a *ParseError carrying the 1-based line number and wrapping
+// the matching sentinel class (ErrVertexRange, ErrSelfLoop,
+// ErrDuplicateEdge, ErrBadWeight).
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -49,47 +63,53 @@ func Read(r io.Reader) (*Graph, error) {
 		switch fields[0] {
 		case "vertices":
 			if b != nil {
-				return nil, fmt.Errorf("graph: line %d: duplicate vertices directive", lineNo)
+				return nil, parseErrf(lineNo, "duplicate vertices directive")
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: want 'vertices <n>'", lineNo)
+				return nil, parseErrf(lineNo, "want 'vertices <n>'")
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[1])
+				return nil, parseErrf(lineNo, "bad vertex count %q", fields[1])
+			}
+			if n >= maxReadVertices {
+				return nil, parseErrf(lineNo, "vertex count %d exceeds the int32 id space: %w", n, ErrVertexRange)
 			}
 			b = NewBuilder(n)
 			labels = make(map[int]string)
 		case "label":
 			if b == nil {
-				return nil, fmt.Errorf("graph: line %d: label before vertices", lineNo)
+				return nil, parseErrf(lineNo, "label before vertices")
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("graph: line %d: want 'label <v> <text>'", lineNo)
+				return nil, parseErrf(lineNo, "want 'label <v> <text>'")
 			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil || v < 0 || v >= b.NumVertices() {
-				return nil, fmt.Errorf("graph: line %d: bad vertex %q", lineNo, fields[1])
+				return nil, parseErrf(lineNo, "label vertex %q outside [0,%d): %w", fields[1], b.NumVertices(), ErrVertexRange)
 			}
 			labels[v] = strings.Join(fields[2:], " ")
 		case "edge":
 			if b == nil {
-				return nil, fmt.Errorf("graph: line %d: edge before vertices", lineNo)
+				return nil, parseErrf(lineNo, "edge before vertices")
 			}
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("graph: line %d: want 'edge <u> <v> <w>'", lineNo)
+				return nil, parseErrf(lineNo, "want 'edge <u> <v> <w>'")
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
 			w, err3 := strconv.ParseFloat(fields[3], 64)
 			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("graph: line %d: malformed edge %q", lineNo, line)
+				return nil, parseErrf(lineNo, "malformed edge %q", line)
+			}
+			if b.HasEdge(u, v) {
+				return nil, parseErrf(lineNo, "edge (%d,%d) repeats an earlier pair: %w", u, v, ErrDuplicateEdge)
 			}
 			if err := b.AddEdge(u, v, w); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+				return nil, &ParseError{Line: lineNo, Err: err}
 			}
 		default:
-			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, parseErrf(lineNo, "unknown directive %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {

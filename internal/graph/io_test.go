@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -101,5 +102,63 @@ func TestReadPartialLabelsFillDefaults(t *testing.T) {
 	}
 	if g.Label(0) != "0" || g.Label(1) != "middle" || g.Label(2) != "2" {
 		t.Fatalf("labels = %q %q %q", g.Label(0), g.Label(1), g.Label(2))
+	}
+}
+
+// TestReadTypedErrors pins the hostile-input contract: each rejection class
+// surfaces as a *ParseError with the offending 1-based line number, wrapping
+// the matching sentinel.
+func TestReadTypedErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		line     int
+		sentinel error
+	}{
+		{"nan weight", "vertices 2\nedge 0 1 NaN\n", 2, ErrBadWeight},
+		{"negative weight", "vertices 2\nedge 0 1 -3\n", 2, ErrBadWeight},
+		{"zero weight", "vertices 2\n# pad\nedge 0 1 0\n", 3, ErrBadWeight},
+		{"infinite weight", "vertices 2\nedge 0 1 +Inf\n", 2, ErrBadWeight},
+		{"self loop", "vertices 2\nedge 1 1 1\n", 2, ErrSelfLoop},
+		{"duplicate pair", "vertices 3\nedge 0 1 1\nedge 1 0 2\n", 3, ErrDuplicateEdge},
+		{"endpoint out of range", "vertices 2\nedge 0 9 1\n", 2, ErrVertexRange},
+		{"label out of range", "vertices 2\nlabel 7 x\n", 2, ErrVertexRange},
+		{"count overflows int32 ids", "vertices 2147483648\n", 1, ErrVertexRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Read(%q) succeeded, want error", tc.in)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v (%T), want *ParseError", err, err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.line, err)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("err = %v, want errors.Is(err, %v)", err, tc.sentinel)
+			}
+		})
+	}
+}
+
+// TestBuilderKeepsLastWriteWins documents that duplicate rejection is a
+// Read-level policy: the programmatic Builder still overwrites.
+func TestBuilderKeepsLastWriteWins(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1, 1)
+	if !b.HasEdge(1, 0) {
+		t.Fatal("HasEdge(1,0) = false after AddEdge(0,1)")
+	}
+	if b.HasEdge(0, 0) || b.HasEdge(-1, 5) {
+		t.Fatal("HasEdge reported a pair that was never added")
+	}
+	b.MustAddEdge(1, 0, 7)
+	g := b.Build(nil)
+	if g.NumEdges() != 1 || g.Edge(0).Weight != 7 {
+		t.Fatalf("edges = %d weight = %v, want 1 edge of weight 7", g.NumEdges(), g.Edge(0).Weight)
 	}
 }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+
+	"linkclust/internal/fault"
+)
+
+// MemBudget is a soft memory budget checked at phase boundaries: it captures
+// a runtime.MemStats baseline at construction and compares the live-heap
+// growth against the limit on each Exceeded call. "Soft" means nothing is
+// enforced between checks — a phase may overshoot and the overshoot is only
+// observed at its boundary — which is the usable contract for this pipeline:
+// allocation happens in a few large, phase-aligned steps (pair list, CSR
+// arenas, chain snapshots), so the boundary after the initialization phase
+// is exactly where degrading to the coarse algorithm still saves the
+// sweep-phase allocations.
+//
+// A nil *MemBudget is valid and never exceeded, mirroring the package's nil
+// *Recorder convention.
+type MemBudget struct {
+	limit     int64
+	baseHeap  uint64
+	lastDelta int64
+}
+
+// NewMemBudget returns a budget of limitBytes of live-heap growth measured
+// from now. limitBytes <= 0 returns nil — no budget, never exceeded.
+func NewMemBudget(limitBytes int64) *MemBudget {
+	if limitBytes <= 0 {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &MemBudget{limit: limitBytes, baseHeap: ms.HeapAlloc}
+}
+
+// Exceeded reports whether the live heap has grown past the budget since
+// construction. It reads runtime.MemStats (microseconds, not free — call at
+// phase boundaries, never in hot loops) and records the observed delta for
+// Used. The fault.MemBreach injection point is checked first: a firing hit
+// reports a breach without the heap actually having grown, which is how the
+// degradation path is tested deterministically.
+func (b *MemBudget) Exceeded() bool {
+	if b == nil {
+		return false
+	}
+	if fault.Hit(fault.MemBreach) {
+		b.lastDelta = b.limit + 1
+		return true
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.lastDelta = int64(ms.HeapAlloc) - int64(b.baseHeap)
+	return b.lastDelta > b.limit
+}
+
+// Used returns the live-heap delta observed by the last Exceeded call (0
+// before the first call, or on a nil budget). Negative values mean a GC
+// freed more than the run retained.
+func (b *MemBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.lastDelta
+}
+
+// Limit returns the budget in bytes (0 on a nil budget).
+func (b *MemBudget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}

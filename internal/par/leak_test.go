@@ -1,0 +1,182 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitNoLeaks polls until the process goroutine count falls back to the
+// baseline captured before the scenario ran. Every pool in this package
+// promises that no goroutine outlives the call, including on the
+// cancellation and panic paths; a worker blocked forever on a channel shows
+// up here as a count that never recovers.
+func waitNoLeaks(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRunPanicNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	err := func() (err error) {
+		defer RecoverPanicError(&err)
+		Run(6, func(tid int, aborted func() bool) {
+			if tid == 3 {
+				panic("worker 3 exploded")
+			}
+			// Siblings spin until the abort flag tells them to stop.
+			for !aborted() {
+				runtime.Gosched()
+			}
+		})
+		return nil
+	}()
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wpe.Worker != 3 {
+		t.Fatalf("panic attributed to worker %d, want 3", wpe.Worker)
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestDoPanicNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	err := func() (err error) {
+		defer RecoverPanicError(&err)
+		Do(1<<16, 8, func(tid, lo, hi int) {
+			if tid == 5 {
+				panic("range worker exploded")
+			}
+			for i := lo; i < hi; i++ {
+				_ = i * i
+			}
+		})
+		return nil
+	}()
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestOrderedCtxCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	err := OrderedCtx(ctx, 10_000, 4,
+		func(i int) {
+			if i == 50 {
+				cancel()
+			}
+		},
+		func(i int) { emitted++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted >= 10_000 {
+		t.Fatalf("cancellation did not stop emission (emitted %d)", emitted)
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestOrderedCtxProcessPanicNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	err := OrderedCtx(context.Background(), 10_000, 4,
+		func(i int) {
+			if i == 123 {
+				panic("process exploded")
+			}
+		},
+		func(i int) {})
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	waitNoLeaks(t, base)
+}
+
+// TestOrderedEmitPanicNoLeak covers the abandoned-consumer class: the emitter
+// dies while producers are still publishing, so workers must observe the stop
+// signal at their publish points instead of blocking forever on the
+// completion buffers.
+func TestOrderedEmitPanicNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		defer func() {
+			if v := recover(); v == nil {
+				t.Fatal("emit panic did not propagate")
+			}
+		}()
+		Ordered(10_000, 4,
+			func(i int) {},
+			func(i int) {
+				if i == 3 {
+					panic("emit exploded")
+				}
+			})
+	}()
+	waitNoLeaks(t, base)
+}
+
+func TestOrderedSerialPanicTyped(t *testing.T) {
+	base := runtime.NumGoroutine()
+	err := OrderedCtx(context.Background(), 8, 1,
+		func(i int) {
+			if i == 2 {
+				panic("serial process exploded")
+			}
+		},
+		func(i int) {})
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("serial path err = %v, want *WorkerPanicError (parity with parallel)", err)
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestSortFuncCtxCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := make([]int, 200_000)
+	for i := range s {
+		s[i] = (i * 2654435761) % len(s)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := SortFuncCtx(ctx, s, 4, func(a, b int) int { return a - b })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitNoLeaks(t, base)
+}
+
+func TestSortFuncCtxPanicNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := make([]int, 100_000)
+	for i := range s {
+		s[i] = (i * 40503) % len(s)
+	}
+	var calls atomic.Int64
+	err := SortFuncCtx(context.Background(), s, 4, func(a, b int) int {
+		if calls.Add(1) == 5_000 {
+			panic("comparator exploded")
+		}
+		return a - b
+	})
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	waitNoLeaks(t, base)
+}

@@ -1,6 +1,12 @@
 package par
 
-import "sync"
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+
+	"linkclust/internal/fault"
+)
 
 // Ordered processes items 0..n-1 across up to workers goroutines and calls
 // emit(i) exactly once per item, in ascending index order, as soon as item i
@@ -19,10 +25,31 @@ import "sync"
 // process runs concurrently with other process calls and with emit; emit
 // runs on the calling goroutine only. Ordered returns once every item has
 // been emitted. With one worker (or n <= 1) everything runs on the calling
-// goroutine, alternating process(i); emit(i).
+// goroutine, alternating process(i); emit(i). A panic inside process is
+// re-raised on the calling goroutine as a *WorkerPanicError after the pool
+// has drained.
 func Ordered(n, workers int, process func(i int), emit func(i int)) {
+	if err := OrderedCtx(context.Background(), n, workers, process, emit); err != nil {
+		// A background context never cancels, so the only possible error is
+		// a recovered worker panic; re-raise it typed.
+		panic(err)
+	}
+}
+
+// OrderedCtx is Ordered with cooperative cancellation and panic isolation.
+// It returns nil after emitting every item; ctx.Err() if the context is
+// canceled first; or a *WorkerPanicError if a process call panicked. In the
+// two failure cases emission simply stops early — a prefix of items may
+// already have been emitted.
+//
+// The abandoned-consumer leak class is handled here: when the emitter stops
+// consuming (cancellation, worker panic, or a panic inside emit itself),
+// workers blocked publishing a completion observe the stop signal and exit,
+// and OrderedCtx does not return until every worker has. No goroutine
+// outlives the call.
+func OrderedCtx(ctx context.Context, n, workers int, process func(i int), emit func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Normalize(workers)
 	if workers > n {
@@ -30,38 +57,147 @@ func Ordered(n, workers int, process func(i int), emit func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			process(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runGuarded(0, i == 0, func() { process(i) }); err != nil {
+				return err
+			}
 			emit(i)
 		}
-		return
+		return nil
 	}
+
+	// stop is the abandonment signal: closed when the emitter gives up
+	// (cancellation, worker panic, emit panic). Workers select on it at
+	// both their claim and publish points, so a producer blocked on a full
+	// completion buffer exits instead of leaking.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var mu sync.Mutex
+	var wpe *WorkerPanicError
+
 	// A small buffer per worker lets workers run ahead of the emitter
 	// without unbounded memory: at most workers*orderedAhead items can be
 	// processed but not yet emitted.
 	done := make([]chan int, workers)
-	for t := range done {
-		done[t] = make(chan int, orderedAhead)
-	}
 	var wg sync.WaitGroup
 	for t := 0; t < workers; t++ {
+		done[t] = make(chan int, orderedAhead)
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					stack := debug.Stack()
+					mu.Lock()
+					if wpe == nil {
+						wpe = &WorkerPanicError{Worker: t, Value: v, Stack: stack}
+					}
+					mu.Unlock()
+					halt()
+				}
+			}()
+			fault.Hit(fault.WorkerPanic)
 			for i := t; i < n; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
 				process(i)
-				done[t] <- i
+				select {
+				case done[t] <- i:
+				case <-stop:
+					return
+				}
 			}
 		}(t)
 	}
-	for i := 0; i < n; i++ {
-		if got := <-done[i%workers]; got != i {
-			// Unreachable by construction; guard against future edits
-			// breaking the round-robin invariant.
-			panic("par: Ordered completion out of assignment order")
+	// exited closes once every worker has returned — the emitter's way out
+	// when a panicked worker will never publish the item it is waiting for.
+	exited := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(exited)
+	}()
+	// If emit itself panics, release the workers before propagating so the
+	// panic does not strand producers blocked on their publish channels.
+	defer func() {
+		if v := recover(); v != nil {
+			halt()
+			<-exited
+			panic(v)
 		}
-		emit(i)
+	}()
+
+	var err error
+	draining := false
+loop:
+	for i := 0; i < n; i++ {
+		if draining {
+			// Workers are gone; anything they completed is already buffered
+			// (their publishes are blocking, so a returned worker published
+			// everything it processed). Drain without blocking and stop at
+			// the first gap.
+			select {
+			case got := <-done[i%workers]:
+				if got != i {
+					panic("par: Ordered completion out of assignment order")
+				}
+				emit(i)
+				continue
+			default:
+				break loop
+			}
+		}
+		select {
+		case got := <-done[i%workers]:
+			if got != i {
+				// Unreachable by construction; guard against future edits
+				// breaking the round-robin invariant.
+				panic("par: Ordered completion out of assignment order")
+			}
+			emit(i)
+		case <-ctx.Done():
+			err = ctx.Err()
+			halt()
+			break loop
+		case <-exited:
+			// All workers returned — either every item is processed (their
+			// completions sit in the buffers) or a panic/stop cut them
+			// short. Retry this index in drain mode to tell the two apart.
+			draining = true
+			i--
+		}
 	}
-	wg.Wait()
+	halt()
+	<-exited
+	mu.Lock()
+	defer mu.Unlock()
+	if wpe != nil {
+		return wpe
+	}
+	return err
+}
+
+// runGuarded invokes fn with the pool's panic isolation on the calling
+// goroutine, converting a panic into the *WorkerPanicError a parallel worker
+// would have produced. hitFault gates the per-launch fault.WorkerPanic hit
+// so the serial path counts one launch, like a one-worker pool.
+func runGuarded(worker int, hitFault bool, fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &WorkerPanicError{Worker: worker, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if hitFault {
+		fault.Hit(fault.WorkerPanic)
+	}
+	fn()
+	return nil
 }
 
 // orderedAhead bounds how many completed-but-unemitted items each worker may

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"linkclust/internal/fault"
+)
+
+// WorkerPanicError is the typed surface of a panic inside a worker pool: the
+// pool recovers the panic, asks its sibling workers to stop, waits for them
+// to drain, and then re-raises this error on the coordinating goroutine so a
+// single misbehaving unit of work cannot crash the process. Pipeline entry
+// points convert it into an ordinary error return with RecoverPanicError.
+type WorkerPanicError struct {
+	// Worker is the dense pool index of the goroutine that panicked.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error. The stack is included because by the time the
+// error reaches a caller the panicking goroutine is gone.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("par: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// RecoverPanicError converts a re-raised *WorkerPanicError into an error
+// return; any other panic value propagates unchanged. Use it as the first
+// deferred call of an entry point that runs worker pools:
+//
+//	func SweepParallelCtx(...) (res *Result, err error) {
+//		defer par.RecoverPanicError(&err)
+//		...
+func RecoverPanicError(errp *error) {
+	if r := recover(); r != nil {
+		if wp, ok := r.(*WorkerPanicError); ok {
+			*errp = wp
+			return
+		}
+		panic(r)
+	}
+}
+
+// Run invokes body(t, aborted) for every t in [0, workers) — concurrently
+// for workers > 1, inline on the calling goroutine for workers <= 1 — and
+// returns once every body has. Panics inside a body are isolated: the first
+// one is recovered with its stack, the shared abort flag is raised so
+// sibling bodies can bail out at their next aborted() poll, the pool drains,
+// and Run re-raises the panic as a *WorkerPanicError on the calling
+// goroutine (convert it with RecoverPanicError at the entry point).
+//
+// aborted is a cheap atomic poll; bodies whose work is bounded (one window
+// phase, one merge segment) may ignore it, while open-ended loops (row
+// cursors) should check it at their claim boundaries. Unlike Do, Run does
+// not normalize workers: it launches exactly the requested count.
+//
+// Run is also the fault.WorkerPanic injection site: the point is hit once
+// per worker launch, before the body runs.
+func Run(workers int, body func(t int, aborted func() bool)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var abort atomic.Bool
+	var mu sync.Mutex
+	var first *WorkerPanicError
+	runOne := func(t int) {
+		defer func() {
+			if v := recover(); v != nil {
+				stack := debug.Stack()
+				mu.Lock()
+				if first == nil {
+					first = &WorkerPanicError{Worker: t, Value: v, Stack: stack}
+				}
+				mu.Unlock()
+				abort.Store(true)
+			}
+		}()
+		fault.Hit(fault.WorkerPanic)
+		body(t, abort.Load)
+	}
+	if workers == 1 {
+		runOne(0)
+	} else {
+		var wg sync.WaitGroup
+		for t := 0; t < workers; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				runOne(t)
+			}(t)
+		}
+		wg.Wait()
+	}
+	if first != nil {
+		panic(first)
+	}
+}

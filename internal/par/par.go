@@ -9,7 +9,6 @@ package par
 
 import (
 	"runtime"
-	"sync"
 )
 
 // MinCap is the floor of the default worker cap. Oversubscription up to
@@ -54,6 +53,11 @@ func NormalizeCap(n, cap int) int {
 // normalized and additionally clamped to n, so fn never receives an empty
 // range; worker ids are dense in [0, workers). With one worker (or n <= 1)
 // fn runs on the calling goroutine.
+//
+// Do is panic-isolating: a panic inside fn is recovered and re-raised on
+// the calling goroutine as a *WorkerPanicError after the pool has drained
+// (see Run). Each range is one bounded unit of work, so Do offers no abort
+// poll; cancellation between Do calls is the caller's job.
 func Do(n, workers int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -62,18 +66,8 @@ func Do(n, workers int, fn func(worker, lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for t := 0; t < workers; t++ {
-		lo, hi := n*t/workers, n*(t+1)/workers
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			fn(t, lo, hi)
-		}(t, lo, hi)
-	}
-	wg.Wait()
+	w := workers
+	Run(w, func(t int, _ func() bool) {
+		fn(t, n*t/w, n*(t+1)/w)
+	})
 }

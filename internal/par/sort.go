@@ -1,8 +1,8 @@
 package par
 
 import (
+	"context"
 	"slices"
-	"sync"
 )
 
 // sortSerialThreshold is the input size below which SortFunc runs serially:
@@ -28,12 +28,35 @@ const minMergeSplit = 1 << 10
 // the output is deterministic and identical to slices.SortFunc for any
 // worker count. With genuinely equal elements the output is still sorted,
 // but their relative order may depend on the chunk boundaries.
+//
+// A panic inside cmp is re-raised on the calling goroutine as a
+// *WorkerPanicError after the pool has drained.
 func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
+	if err := SortFuncCtx(context.Background(), s, workers, cmp); err != nil {
+		// A background context never cancels, so the only possible error is
+		// a recovered worker panic; re-raise it typed.
+		panic(err)
+	}
+}
+
+// SortFuncCtx is SortFunc with cooperative cancellation and panic isolation.
+// The context is checked before the chunk phase and between merge rounds, so
+// cancel latency is bounded by one round over the largest runs (individual
+// chunk sorts and merge segments are not interruptible). It returns nil with
+// s fully sorted; ctx.Err() on cancellation, leaving s an unspecified
+// permutation of its input (partially sorted at best — callers must treat it
+// as unsorted); or a *WorkerPanicError if cmp panicked, in which case the
+// contents of s are unspecified and must be discarded.
+func SortFuncCtx[T any](ctx context.Context, s []T, workers int, cmp func(a, b T) int) (err error) {
+	defer RecoverPanicError(&err)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers = Normalize(workers)
 	n := len(s)
 	if workers < 2 || n < sortSerialThreshold {
-		slices.SortFunc(s, cmp)
-		return
+		Run(1, func(int, func() bool) { slices.SortFunc(s, cmp) })
+		return nil
 	}
 
 	// The largest power-of-two chunk count that keeps chunks big enough to
@@ -43,8 +66,8 @@ func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
 		chunks *= 2
 	}
 	if chunks < 2 {
-		slices.SortFunc(s, cmp)
-		return
+		Run(1, func(int, func() bool) { slices.SortFunc(s, cmp) })
+		return nil
 	}
 
 	bounds := make([]int, chunks+1)
@@ -52,51 +75,66 @@ func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
 		bounds[i] = i * n / chunks
 	}
 
-	var wg sync.WaitGroup
-	for i := 0; i < chunks; i++ {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			slices.SortFunc(s[lo:hi], cmp)
-		}(bounds[i], bounds[i+1])
-	}
-	wg.Wait()
+	Run(chunks, func(t int, _ func() bool) {
+		slices.SortFunc(s[bounds[t]:bounds[t+1]], cmp)
+	})
 
 	// log2(chunks) merge rounds, ping-ponging between s and a scratch
 	// buffer. chunks is a power of two, so every round pairs runs evenly.
 	scratch := make([]T, n)
 	src, dst := s, scratch
+	var tasks []mergeTask[T]
 	for width := 1; width < chunks; width *= 2 {
+		if err := ctx.Err(); err != nil {
+			// The last completed round left a full permutation in src; copy
+			// it back so s never holds the stale ping-pong buffer.
+			if n > 0 && &src[0] != &s[0] {
+				copy(s, src)
+			}
+			return err
+		}
 		merges := chunks / (2 * width)
 		parts := workers / merges
 		if parts < 1 {
 			parts = 1
 		}
+		tasks = tasks[:0]
 		for m := 0; m < merges; m++ {
 			lo := bounds[2*m*width]
 			mid := bounds[2*m*width+width]
 			hi := bounds[2*(m+1)*width]
-			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], parts, cmp, &wg)
+			tasks = appendMergeTasks(tasks, dst[lo:hi], src[lo:mid], src[mid:hi], parts, cmp)
 		}
-		wg.Wait()
+		w := workers
+		if w > len(tasks) {
+			w = len(tasks)
+		}
+		Run(w, func(t int, _ func() bool) {
+			for i := t; i < len(tasks); i += w {
+				mergeInto(tasks[i].dst, tasks[i].a, tasks[i].b, cmp)
+			}
+		})
 		src, dst = dst, src
 	}
 	if n > 0 && &src[0] != &s[0] {
 		copy(s, src)
 	}
+	return nil
 }
 
-// mergeRuns merges sorted runs a and b into dst (len(dst) == len(a)+len(b)),
-// split into up to parts independent segments, each merged by one goroutine
-// registered on wg. Ties are taken from a first, so the merge is stable.
-func mergeRuns[T any](dst, a, b []T, parts int, cmp func(a, b T) int, wg *sync.WaitGroup) {
+// mergeTask is one independent segment of a merge round: merge sorted runs a
+// and b into dst, where len(dst) == len(a)+len(b).
+type mergeTask[T any] struct {
+	dst, a, b []T
+}
+
+// appendMergeTasks splits the merge of sorted runs a and b into dst into up
+// to parts independent tasks and appends them to out. Ties are taken from a
+// first, so the merge is stable; the split points are found by binary search
+// so the tasks partition dst exactly.
+func appendMergeTasks[T any](out []mergeTask[T], dst, a, b []T, parts int, cmp func(a, b T) int) []mergeTask[T] {
 	if parts < 2 || len(a) < minMergeSplit || len(b) < minMergeSplit {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mergeInto(dst, a, b, cmp)
-		}()
-		return
+		return append(out, mergeTask[T]{dst: dst, a: a, b: b})
 	}
 	prevA, prevB := 0, 0
 	for p := 1; p <= parts; p++ {
@@ -108,13 +146,14 @@ func mergeRuns[T any](dst, a, b []T, parts int, cmp func(a, b T) int, wg *sync.W
 			// lower bound of a[ai].
 			bi = lowerBound(b, a[ai], cmp)
 		}
-		wg.Add(1)
-		go func(dst, a, b []T) {
-			defer wg.Done()
-			mergeInto(dst, a, b, cmp)
-		}(dst[prevA+prevB:ai+bi], a[prevA:ai], b[prevB:bi])
+		out = append(out, mergeTask[T]{
+			dst: dst[prevA+prevB : ai+bi],
+			a:   a[prevA:ai],
+			b:   b[prevB:bi],
+		})
 		prevA, prevB = ai, bi
 	}
+	return out
 }
 
 // mergeInto is a serial stable merge of sorted runs a and b into dst.
