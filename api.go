@@ -163,7 +163,7 @@ type ClusterOptions struct {
 	// Workers sets the worker count for the initialization phase (and the
 	// coarse sweeping phase, where applicable). Like every parallel entry
 	// point, the value is normalized: below 1 runs serially, above
-	// max(runtime.NumCPU(), 8) is clamped to that cap.
+	// max(runtime.GOMAXPROCS(0), runtime.NumCPU()) is clamped to that cap.
 	Workers int
 	// Recorder, when non-nil, collects phase timers and counters for the
 	// run; call Recorder.Report to obtain the RunReport.
@@ -195,7 +195,7 @@ func Similarity(g *Graph) *PairList { return core.Similarity(g) }
 // (count-then-fill into a CSR layout, no merge phase), and the output is
 // bitwise identical to Similarity for any worker count. The workers
 // argument is normalized: values below 2 (after clamping) fall back to the
-// serial path, values above max(runtime.NumCPU(), 8) are clamped to that
+// serial path, values above max(runtime.GOMAXPROCS(0), runtime.NumCPU()) are clamped to that
 // cap.
 func SimilarityParallel(g *Graph, workers int) *PairList {
 	return core.SimilarityParallel(g, workers)
@@ -414,6 +414,16 @@ func CoarseCluster(g *Graph, params CoarseParams) (*CoarseResult, error) {
 // strategies over one initialization, as the paper's Fig. 5(2) does.
 func CoarseSweep(g *Graph, pl *PairList, params CoarseParams) (*CoarseResult, error) {
 	return coarse.Sweep(g, pl, params)
+}
+
+// CoarseSweepCtx is CoarseSweep with cooperative cancellation, panic
+// isolation, and optional instrumentation: the context is checked at every
+// chunk boundary, bounding cancel latency by one chunk. It is the entry
+// point for callers that already hold a pair list (for example from a
+// similarity cache) and need the coarse phase alone — the degrade target of
+// the memory-budget path when Phase I was skipped.
+func CoarseSweepCtx(ctx context.Context, g *Graph, pl *PairList, params CoarseParams, rec *Recorder) (*CoarseResult, error) {
+	return coarse.SweepCtx(ctx, g, pl, params, rec)
 }
 
 // NewDendrogram wraps a fine-grained result's merge stream.

@@ -41,11 +41,21 @@ import (
 func main() {
 	// SIGINT cancels the run context instead of killing the process: the
 	// clustering engines observe it within one scheduling window, unwind
-	// cleanly, and the error path below still writes the partial run report.
+	// cleanly, and the error path still writes the partial run report.
 	// A second SIGINT falls through to the default handler (hard kill).
+	//
+	// os.Exit skips deferred functions, so nothing that must happen — the
+	// report write inside run's defers, and stop() restoring the default
+	// signal disposition — may live behind a defer crossed by os.Exit.
+	// run() returns only after its own defers (including the partial-report
+	// writer) have completed, stop() is called explicitly, and only then is
+	// the exit code raised; the report writer itself is atomic (temp file +
+	// rename, see writeReport), so even a hard kill mid-write never leaves
+	// a truncated JSON document at the report path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	err := run(ctx, os.Args[1:], os.Stdin, os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "linkclust:", err)
 		if errors.Is(err, context.Canceled) {
 			os.Exit(130) // conventional 128+SIGINT
@@ -179,20 +189,31 @@ func cmdAnalyze(args []string, stdin io.Reader, stdout io.Writer) error {
 }
 
 // writeReport finalizes the recorder and writes its RunReport JSON; a nil
-// recorder (observability off) writes nothing.
+// recorder (observability off) writes nothing. The write is atomic — the
+// JSON lands in a temp file in the same directory and is renamed over the
+// target — so an interrupt arriving mid-write (the second-SIGINT hard kill)
+// can never leave a truncated document at the report path: the file either
+// holds the previous content or the complete new report.
 func writeReport(rec *linkclust.Recorder, path string, stdout io.Writer) error {
 	if rec == nil || path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := rec.Report().WriteJSON(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	fmt.Fprintf(stdout, "run report written to %s\n", path)

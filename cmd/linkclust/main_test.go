@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"strings"
@@ -345,5 +346,45 @@ func TestClusterCanceledContext(t *testing.T) {
 	err := run(ctx, []string{"cluster", "-algo", "sweep", "-workers", "4"}, strings.NewReader(gtext), &out)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInterruptedRunReportCompleteJSON pins the SIGINT report contract: by
+// the time run() returns on the signal path — the moment main is first
+// allowed to raise exit code 130 — the partial run report must already be
+// a complete, parseable JSON document tagged with the interrupting error.
+// (The old main exited through a path that could cross the report writer's
+// defers; run() returning is now the join point.)
+func TestInterruptedRunReportCompleteJSON(t *testing.T) {
+	gtext := pipeline(t)
+	rpath := t.TempDir() + "/interrupted.json"
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT already delivered
+	var out bytes.Buffer
+	err := run(ctx, []string{"cluster", "-algo", "sweep", "-workers", "4", "-report", rpath},
+		strings.NewReader(gtext), &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	data, rerr := os.ReadFile(rpath)
+	if rerr != nil {
+		t.Fatalf("partial report not flushed before run returned: %v", rerr)
+	}
+	var rep struct {
+		Schema string            `json:"schema"`
+		Meta   map[string]string `json:"meta"`
+	}
+	if uerr := json.Unmarshal(data, &rep); uerr != nil {
+		t.Fatalf("interrupted run left malformed report JSON: %v\n%s", uerr, data)
+	}
+	if rep.Schema != "linkclust/run-report/v1" {
+		t.Fatalf("report schema = %q", rep.Schema)
+	}
+	if !strings.Contains(rep.Meta["error"], "canceled") {
+		t.Fatalf("report meta.error = %q, want the cancellation tag", rep.Meta["error"])
+	}
+	// The atomic temp file must not linger next to the report.
+	if _, serr := os.Stat(rpath + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatalf("temp report file left behind: %v", serr)
 	}
 }

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"quality", "extension: community recovery (ONMI) on planted ground truth", Quality},
 		{"ablation", "extension: chain-vs-union-find and algorithm-family comparisons", Ablation},
 		{"corpus", "validation: synthetic corpus vs tweet-corpus statistics", CorpusExp},
+		{"service", "extension: linkclustd load test (cold vs cached over HTTP, concurrent clients)", Service},
 	}
 }
 

@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+	"linkclust/internal/jobs"
+)
+
+// serviceResult is one workload row of the daemon load test: cold submit
+// latency (queue wait + full pipeline) against the cached resubmit, plus the
+// bitwise-identity verdict versus an in-process serial run.
+type serviceResult struct {
+	Alpha     float64 `json:"alpha"`
+	Vertices  int     `json:"vertices"`
+	Edges     int     `json:"edges"`
+	ColdNs    int64   `json:"cold_ns"`
+	CachedNs  int64   `json:"cached_ns"`
+	Speedup   float64 `json:"speedup"` // cold / cached
+	Identical bool    `json:"identical_to_solo"`
+}
+
+// serviceReport is the BENCH_service.json document. Load-phase aggregates
+// live in Meta (the bench/v1 envelope allows no extra top-level fields).
+type serviceReport struct {
+	Schema    string            `json:"schema"`
+	Name      string            `json:"name"`
+	CreatedAt time.Time         `json:"created_at"`
+	Meta      map[string]string `json:"meta"`
+	Results   []serviceResult   `json:"results"`
+}
+
+// serviceClients is the concurrent-client count of the load phase.
+const serviceClients = 4
+
+// Service load-tests the linkclustd service layer end to end over real HTTP:
+// for every α workload it measures a cold submission (full Phase I + sweep
+// through the job queue) against a cached resubmission of the same graph, and
+// verifies the served merge stream bitwise against an in-process serial run.
+// A second, fresh daemon then takes N concurrent clients submitting the mixed
+// workloads simultaneously — repeats hit the dendrogram cache, queue-full
+// rejections are retried — exercising admission control and the bounded queue
+// under contention. Cached resubmits are asserted ≥10× faster than cold runs
+// wherever the cold run is long enough to measure that honestly.
+func Service(w io.Writer, cfg Config) error {
+	wls, err := BuildWorkloads(cfg)
+	if err != nil {
+		return err
+	}
+
+	report := &serviceReport{
+		Schema:    BenchSchemaV1,
+		Name:      "service",
+		CreatedAt: time.Now().UTC(),
+		Meta: map[string]string{
+			"clients": fmt.Sprintf("%d", serviceClients),
+			"cpus":    fmt.Sprintf("%d", runtime.NumCPU()),
+		},
+	}
+	t := &Table{
+		Title:   "service: linkclustd cold submissions vs cached resubmissions over HTTP",
+		Columns: []string{"alpha", "edges", "cold", "cached", "speedup", "identical"},
+		Notes: []string{
+			"cold times one full submit→done round trip (queue wait, phase I, sweep)",
+			"cached times the same graph resubmitted: served from the dendrogram cache at submit",
+			"identical: served merge stream is bitwise equal to an in-process serial run",
+		},
+	}
+
+	// Phase 1: cold vs cached per workload, sequentially on one daemon.
+	baseURL, shutdown, err := startServiceDaemon(jobs.Config{Concurrency: 2, QueueDepth: 32})
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	for _, wl := range wls {
+		end := cfg.Obs.Phase(fmt.Sprintf("service-alpha-%g", wl.Alpha))
+		row, err := serviceColdCached(baseURL, wl)
+		end()
+		if err != nil {
+			return fmt.Errorf("bench: service alpha %v: %w", wl.Alpha, err)
+		}
+		report.Results = append(report.Results, row)
+		t.AddRow(wl.Alpha, row.Edges, formatSeconds(time.Duration(row.ColdNs)),
+			formatSeconds(time.Duration(row.CachedNs)), fmt.Sprintf("%.1fx", row.Speedup),
+			fmt.Sprintf("%v", row.Identical))
+		if !row.Identical {
+			return fmt.Errorf("bench: service alpha %v: served merge stream differs from solo run", wl.Alpha)
+		}
+		// The ≥10× acceptance bound, asserted only where the cold run is long
+		// enough (≥10ms) that HTTP round-trip noise cannot fake a failure —
+		// for tiny graphs both sides are dominated by the loopback latency.
+		if row.ColdNs >= int64(10*time.Millisecond) && row.Speedup < 10 {
+			return fmt.Errorf("bench: service alpha %v: cached speedup %.1fx < 10x (cold %s, cached %s)",
+				wl.Alpha, row.Speedup, time.Duration(row.ColdNs), time.Duration(row.CachedNs))
+		}
+	}
+	shutdown()
+
+	// Phase 2: concurrent mixed load against a fresh daemon (cold caches).
+	end := cfg.Obs.Phase("service-load")
+	load, err := serviceLoadPhase(wls)
+	end()
+	if err != nil {
+		return err
+	}
+	for k, v := range load {
+		report.Meta[k] = v
+	}
+
+	t.Fprint(w)
+	fmt.Fprintf(w, "load phase: %d clients, %s jobs (%s ok, %s retries after 429) in %s\n",
+		serviceClients, load["load_jobs"], load["load_completed"], load["load_retries"], load["load_wall"])
+	if cfg.BenchJSON != "" {
+		if err := writeBenchJSON(cfg.BenchJSON, report); err != nil {
+			return fmt.Errorf("bench: writing %s: %w", cfg.BenchJSON, err)
+		}
+		fmt.Fprintf(w, "bench report written to %s\n", cfg.BenchJSON)
+	}
+	return nil
+}
+
+// startServiceDaemon boots a manager and an HTTP listener on an ephemeral
+// loopback port. shutdown is idempotent.
+func startServiceDaemon(cfg jobs.Config) (string, func(), error) {
+	m := jobs.NewManager(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		m.Drain()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: jobs.NewHandler(m)}
+	go srv.Serve(ln)
+	var once sync.Once
+	shutdown := func() {
+		once.Do(func() {
+			m.Drain()
+			srv.Close()
+		})
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// serviceColdCached measures one workload: a cold submit→poll→done round
+// trip, then the cached resubmission, then the bitwise check of the served
+// merge stream against an in-process serial run.
+func serviceColdCached(baseURL string, wl Workload) (serviceResult, error) {
+	text, err := graphToText(wl.Graph)
+	if err != nil {
+		return serviceResult{}, err
+	}
+	row := serviceResult{Alpha: wl.Alpha, Vertices: wl.Graph.NumVertices(), Edges: wl.Graph.NumEdges()}
+
+	start := time.Now()
+	st, err := submitJob(baseURL, text, true)
+	if err != nil {
+		return row, err
+	}
+	st, err = pollJob(baseURL, st, 5*time.Minute)
+	if err != nil {
+		return row, err
+	}
+	row.ColdNs = time.Since(start).Nanoseconds()
+	if st.Cached {
+		return row, fmt.Errorf("first submission of alpha %g hit the cache", wl.Alpha)
+	}
+
+	// Minimum of a few resubmits: each is one HTTP round trip answered from
+	// the dendrogram cache at submit, so noise here is loopback jitter.
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		st2, err := submitJob(baseURL, text, true)
+		if err != nil {
+			return row, err
+		}
+		d := time.Since(start).Nanoseconds()
+		if st2.State != "done" || !st2.Cached {
+			return row, fmt.Errorf("resubmission state=%s cached=%v, want immediate cached done", st2.State, st2.Cached)
+		}
+		if i == 0 || d < row.CachedNs {
+			row.CachedNs = d
+		}
+	}
+	if row.CachedNs > 0 {
+		row.Speedup = float64(row.ColdNs) / float64(row.CachedNs)
+	}
+
+	// Differential check: the daemon's merge stream against a serial
+	// in-process run over the same graph.
+	served, err := fetchMerges(baseURL, st.ID)
+	if err != nil {
+		return row, err
+	}
+	solo, err := soloMergeDoc(wl.Graph)
+	if err != nil {
+		return row, err
+	}
+	row.Identical = bytes.Equal(served, solo)
+	if sum := sha256.Sum256(solo); st.Result != nil &&
+		st.Result.MergesSHA256 != hex.EncodeToString(sum[:]) {
+		row.Identical = false
+	}
+	return row, nil
+}
+
+// serviceLoadPhase drives N concurrent clients over the mixed workloads
+// against a fresh daemon with a deliberately small queue, so backpressure
+// (429 + retry) actually happens. Returns string-valued aggregates for the
+// report's Meta.
+func serviceLoadPhase(wls []Workload) (map[string]string, error) {
+	baseURL, shutdown, err := startServiceDaemon(jobs.Config{Concurrency: 2, QueueDepth: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	texts := make([][]byte, len(wls))
+	for i, wl := range wls {
+		if texts[i], err = graphToText(wl.Graph); err != nil {
+			return nil, err
+		}
+	}
+
+	const jobsPerClient = 6
+	var completed, cachedHits, retries atomic.Int64
+	errs := make(chan error, serviceClients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < serviceClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerClient; i++ {
+				text := texts[(c+i)%len(texts)] // mixed sizes, interleaved
+				var st *jobStatus
+				for {
+					var serr error
+					st, serr = submitJob(baseURL, text, false)
+					if serr == nil {
+						break
+					}
+					if !isRetryable(serr) {
+						errs <- fmt.Errorf("client %d job %d: %w", c, i, serr)
+						return
+					}
+					retries.Add(1)
+					time.Sleep(5 * time.Millisecond)
+				}
+				st, perr := pollJob(baseURL, st, 5*time.Minute)
+				if perr != nil {
+					errs <- fmt.Errorf("client %d job %d: %w", c, i, perr)
+					return
+				}
+				completed.Add(1)
+				if st.Cached {
+					cachedHits.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	return map[string]string{
+		"load_jobs":      fmt.Sprintf("%d", serviceClients*jobsPerClient),
+		"load_completed": fmt.Sprintf("%d", completed.Load()),
+		"load_cached":    fmt.Sprintf("%d", cachedHits.Load()),
+		"load_retries":   fmt.Sprintf("%d", retries.Load()),
+		"load_wall":      wall.Round(time.Millisecond).String(),
+	}, nil
+}
+
+// --- HTTP client helpers (the bench is an external client on purpose: it
+// exercises the daemon through the same JSON surface real clients use) ---
+
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+	Result *struct {
+		MergesSHA256 string `json:"merges_sha256"`
+	} `json:"result"`
+}
+
+// retryableError marks a 429/503 submission rejection.
+type retryableError struct{ code int }
+
+func (e *retryableError) Error() string { return fmt.Sprintf("retryable status %d", e.code) }
+
+func isRetryable(err error) bool {
+	_, ok := err.(*retryableError)
+	return ok
+}
+
+func submitJob(baseURL string, graphText []byte, failOnBackpressure bool) (*jobStatus, error) {
+	body, err := json.Marshal(map[string]any{"graph": string(graphText)})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(baseURL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if failOnBackpressure {
+			return nil, fmt.Errorf("submit rejected with %d", resp.StatusCode)
+		}
+		return nil, &retryableError{code: resp.StatusCode}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	st := &jobStatus{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func pollJob(baseURL string, st *jobStatus, timeout time.Duration) (*jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		switch st.State {
+		case "done":
+			return st, nil
+		case "failed", "canceled":
+			return st, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(time.Millisecond)
+		resp, err := http.Get(baseURL + "/jobs/" + st.ID)
+		if err != nil {
+			return st, err
+		}
+		next := &jobStatus{}
+		err = json.NewDecoder(resp.Body).Decode(next)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		st = next
+	}
+}
+
+func fetchMerges(baseURL, id string) ([]byte, error) {
+	resp, err := http.Get(baseURL + "/jobs/" + id + "/merges")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("merges: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func graphToText(g *graph.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// soloMergeDoc computes the reference LCMG document: serial Phase I + serial
+// sweep, no service in the loop.
+func soloMergeDoc(g *graph.Graph) ([]byte, error) {
+	pl := core.Similarity(g)
+	res, err := core.Sweep(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := core.WriteMerges(&buf, g.NumEdges(), res.Merges); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

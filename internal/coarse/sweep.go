@@ -59,7 +59,7 @@ type Params struct {
 	// Workers > 1 processes each chunk with that many replicas of array C
 	// merged via the corrected scheme of Section VI-B. The value is
 	// normalized at Sweep entry like every parallel entry point: values
-	// below 1 run serially, values above max(runtime.NumCPU(), 8) are
+	// below 1 run serially, values above max(runtime.GOMAXPROCS(0), runtime.NumCPU()) are
 	// clamped to that cap, and each chunk additionally clamps its worker
 	// count to the chunk's operation count so near-empty partitions never
 	// pay per-replica clone cost.

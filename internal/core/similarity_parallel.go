@@ -19,7 +19,7 @@ import (
 //
 // The workers argument is normalized like every parallel entry point of the
 // pipeline: values below 2 (after clamping) run the serial implementation,
-// values above max(runtime.NumCPU(), 8) are clamped to that cap.
+// values above max(runtime.GOMAXPROCS(0), runtime.NumCPU()) are clamped to that cap.
 func SimilarityParallel(g *graph.Graph, workers int) *PairList {
 	return SimilarityParallelRecorded(g, workers, nil)
 }

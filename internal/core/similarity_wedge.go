@@ -276,7 +276,7 @@ func similarityWedgeCtx(ctx context.Context, g *graph.Graph, rec *obs.Recorder) 
 //
 // The workers argument is normalized like every parallel entry point of the
 // pipeline: values below 2 (after clamping) run the serial wedge kernel,
-// values above max(runtime.NumCPU(), 8) are clamped to that cap.
+// values above max(runtime.GOMAXPROCS(0), runtime.NumCPU()) are clamped to that cap.
 func SimilarityWedgeParallel(g *graph.Graph, workers int) *PairList {
 	return SimilarityWedgeParallelRecorded(g, workers, nil)
 }

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain oversubscribes the runtime on small CI machines so multi-worker
+// scenarios keep engaging the parallel code paths: par.DefaultCap tracks
+// max(GOMAXPROCS, NumCPU) with no unconditional floor, and without this
+// bump a 1-core runner would normalize every T=2..8 request to serial.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,132 @@
+package jobs
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"linkclust"
+	"linkclust/internal/core"
+)
+
+// cache is the daemon's content-addressed store: similarity pair lists
+// keyed by the canonical graph hash alone (Phase I output depends only on
+// the graph and is bitwise worker-invariant), and finished results keyed by
+// resultKey (graph hash + result-affecting options). Both sides are bounded
+// LRU — the daemon is long-running and graphs are large, so an unbounded
+// map would be a slow leak.
+//
+// Pair lists are stored in their *unsorted* master order (the similarity
+// kernel's deterministic output order) and deep-cloned on every hit: the
+// sweep engines sort pair lists in place, so handing the stored slice to a
+// job would corrupt the cache for concurrent readers.
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+
+	pairs    map[[sha256.Size]byte]*list.Element
+	pairsLRU *list.List // front = most recent; values are *pairEntry
+
+	results    map[[sha256.Size]byte]*list.Element
+	resultsLRU *list.List // values are *resultEntry
+}
+
+type pairEntry struct {
+	key   [sha256.Size]byte
+	pairs []core.Pair // unsorted master order
+}
+
+type resultEntry struct {
+	key    [sha256.Size]byte
+	result Result
+	report *linkclust.RunReport
+	merges []byte // serialized LCMG document
+}
+
+// newCache returns a cache bounded to maxEntries per side; maxEntries <= 0
+// disables caching entirely (every lookup misses, every insert is dropped).
+func newCache(maxEntries int) *cache {
+	return &cache{
+		maxEntries: maxEntries,
+		pairs:      make(map[[sha256.Size]byte]*list.Element),
+		pairsLRU:   list.New(),
+		results:    make(map[[sha256.Size]byte]*list.Element),
+		resultsLRU: list.New(),
+	}
+}
+
+// getPairs returns a private, unsorted clone of the cached pair list for
+// graphKey, or nil on a miss.
+func (c *cache) getPairs(graphKey [sha256.Size]byte) *core.PairList {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pairs[graphKey]
+	if !ok {
+		return nil
+	}
+	c.pairsLRU.MoveToFront(el)
+	e := el.Value.(*pairEntry)
+	return &core.PairList{Pairs: append([]core.Pair(nil), e.pairs...)}
+}
+
+// putPairs stores a clone of pl (which must be in the similarity kernel's
+// unsorted master order) under graphKey.
+func (c *cache) putPairs(graphKey [sha256.Size]byte, pl *core.PairList) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.pairs[graphKey]; ok {
+		c.pairsLRU.MoveToFront(el)
+		return
+	}
+	e := &pairEntry{key: graphKey, pairs: append([]core.Pair(nil), pl.Pairs...)}
+	c.pairs[graphKey] = c.pairsLRU.PushFront(e)
+	if c.pairsLRU.Len() > c.maxEntries {
+		oldest := c.pairsLRU.Back()
+		c.pairsLRU.Remove(oldest)
+		delete(c.pairs, oldest.Value.(*pairEntry).key)
+	}
+}
+
+// getResult returns the cached finished result for key, or nil on a miss.
+// The returned entry is immutable and shared; callers must not mutate it.
+func (c *cache) getResult(key [sha256.Size]byte) *resultEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.results[key]
+	if !ok {
+		return nil
+	}
+	c.resultsLRU.MoveToFront(el)
+	return el.Value.(*resultEntry)
+}
+
+// putResult stores a finished result. Degraded or error-tagged runs must
+// never reach here — the caller guarantees only clean, deterministic
+// results are cached (see Manager.runJob).
+func (c *cache) putResult(e *resultEntry) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.results[e.key]; ok {
+		c.resultsLRU.MoveToFront(el)
+		return
+	}
+	c.results[e.key] = c.resultsLRU.PushFront(e)
+	if c.resultsLRU.Len() > c.maxEntries {
+		oldest := c.resultsLRU.Back()
+		c.resultsLRU.Remove(oldest)
+		delete(c.results, oldest.Value.(*resultEntry).key)
+	}
+}
+
+// stats reports entry counts for /metrics.
+func (c *cache) stats() (pairEntries, resultEntries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pairsLRU.Len(), c.resultsLRU.Len()
+}

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxGraphBytes bounds the request body of a submission; graphs past it are
+// rejected with 413 before parsing.
+const MaxGraphBytes = 64 << 20
+
+// SubmitRequest is the POST /jobs body.
+type SubmitRequest struct {
+	// Graph is the graph in the library's text format (see WriteGraph).
+	Graph string `json:"graph"`
+	// Options configures the run; the zero value is a serial fine-grained
+	// sweep with the daemon's default timeout and budget.
+	Options Options `json:"options"`
+}
+
+// NewHandler returns the daemon's HTTP API over m:
+//
+//	POST /jobs              submit a job; 200 + final status on a result-cache
+//	                        hit, 202 + queued status otherwise
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/result  result summary of a finished job
+//	GET  /jobs/{id}/merges  serialized merge stream (LCMG binary)
+//	GET  /runreport/{id}    the job's obs run report (partial for
+//	                        canceled/failed jobs, error-tagged)
+//	GET  /metrics           manager counters and gauges
+//	GET  /healthz           "ok", or 503 once draining
+//
+// Error mapping: 400 malformed request/graph, 404 unknown job, 409 artifact
+// requested before the job finished, 413 oversized body, 429 queue full or
+// memory-budget rejection, 503 draining.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxGraphBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("jobs: graph exceeds %d bytes", int64(MaxGraphBytes)))
+				return
+			}
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var req SubmitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("jobs: malformed submit body: %w", err))
+			return
+		}
+		if req.Graph == "" {
+			httpError(w, http.StatusBadRequest, errors.New("jobs: empty graph"))
+			return
+		}
+		st, err := m.Submit([]byte(req.Graph), req.Options)
+		if err != nil {
+			httpError(w, submitStatusCode(err), err)
+			return
+		}
+		code := http.StatusAccepted
+		if st.State == StateDone {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if st.State != StateDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("%w: state %s", ErrNotFinished, st.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Result)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/merges", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.Merges(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusNotFound
+			if errors.Is(err, ErrNotFinished) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /runreport/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := m.Report(r.PathValue("id"))
+		if err != nil {
+			code := http.StatusNotFound
+			if errors.Is(err, ErrNotFinished) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		rep.WriteJSON(w)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.Draining() {
+			httpError(w, http.StatusServiceUnavailable, ErrDraining)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+
+	return mux
+}
+
+// submitStatusCode maps Submit errors to HTTP codes: backpressure (queue
+// full, memory ceiling) is 429 so well-behaved clients retry with backoff,
+// drain is 503, anything else is a 400 (malformed graph or options).
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

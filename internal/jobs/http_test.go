@@ -1,0 +1,231 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"linkclust"
+)
+
+func startServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+func submit(t *testing.T, srv *httptest.Server, req SubmitRequest) (int, Status) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollDone(t *testing.T, srv *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st Status
+		if code := getJSON(t, srv.URL+"/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	_, srv := startServer(t, Config{Concurrency: 2})
+	text := string(graphText(t, 50, 31))
+
+	code, st := submit(t, srv, SubmitRequest{Graph: text, Options: Options{Workers: 2}})
+	if code != http.StatusAccepted {
+		t.Fatalf("cold submit = %d, want 202", code)
+	}
+	st = pollDone(t, srv, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s (%s)", st.State, st.Error)
+	}
+
+	// Result endpoint.
+	var res Result
+	if code := getJSON(t, srv.URL+"/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	if res.MergesSHA256 != st.Result.MergesSHA256 {
+		t.Fatal("result endpoint disagrees with status")
+	}
+
+	// Merge stream is the LCMG binary document.
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/merges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 4)
+	if _, err := resp.Body.Read(blob); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if string(blob) != "LCMG" {
+		t.Fatalf("merges magic = %q, want LCMG", blob)
+	}
+
+	// Run report with the similarity phase present (cold run).
+	var rep linkclust.RunReport
+	if code := getJSON(t, srv.URL+"/runreport/"+st.ID, &rep); code != http.StatusOK {
+		t.Fatalf("GET runreport = %d", code)
+	}
+	if rep.Schema == "" || !hasPhase(&rep, "similarity") {
+		t.Fatalf("cold run report lacks schema or similarity phase: %+v", rep.Phases)
+	}
+
+	// Cached resubmit: 200, no phases in its report.
+	code, st2 := submit(t, srv, SubmitRequest{Graph: text, Options: Options{}})
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("resubmit = %d cached=%v, want 200 cached", code, st2.Cached)
+	}
+	var rep2 linkclust.RunReport
+	if code := getJSON(t, srv.URL+"/runreport/"+st2.ID, &rep2); code != http.StatusOK {
+		t.Fatalf("GET cached runreport = %d", code)
+	}
+	if len(rep2.Phases) != 0 {
+		t.Fatalf("cached job report has phases %v", rep2.Phases)
+	}
+
+	// Metrics reflect the hit.
+	var mt Metrics
+	if code := getJSON(t, srv.URL+"/metrics", &mt); code != http.StatusOK {
+		t.Fatalf("GET metrics = %d", code)
+	}
+	if mt.Submitted != 2 || mt.CacheHitResult != 1 {
+		t.Fatalf("metrics submitted=%d hits=%d, want 2/1", mt.Submitted, mt.CacheHitResult)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	m, srv := startServer(t, Config{})
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", "{", http.StatusBadRequest},
+		{"empty graph", `{"graph":""}`, http.StatusBadRequest},
+		{"bad graph", `{"graph":"nonsense"}`, http.StatusBadRequest},
+		{"bad algorithm", `{"graph":"vertices 0\n","options":{"algorithm":"fancy"}}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: code = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	if code := getJSON(t, srv.URL+"/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/runreport/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown report = %d, want 404", code)
+	}
+
+	// Artifact of an unfinished job: 409. Submit something slow enough to
+	// still be queued/running when we ask.
+	code, st := submit(t, srv, SubmitRequest{Graph: string(graphText(t, 150, 32))})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/jobs/"+st.ID+"/result", nil); code != http.StatusConflict && code != http.StatusOK {
+		t.Errorf("unfinished result = %d, want 409 (or 200 if it finished)", code)
+	}
+	pollDone(t, srv, st.ID)
+
+	// Draining: health flips to 503 and submissions are refused.
+	m.Drain()
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d, want 503", code)
+	}
+	code, _ = submit(t, srv, SubmitRequest{Graph: string(graphText(t, 10, 33))})
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining submit = %d, want 503", code)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := startServer(t, Config{})
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+}
+
+func TestHTTPQueueBackpressure(t *testing.T) {
+	_, srv := startServer(t, Config{Concurrency: 1, QueueDepth: 1})
+	text := string(graphText(t, 150, 34))
+	saw429 := false
+	ids := []string{}
+	for i := 0; i < 12; i++ {
+		code, st := submit(t, srv, SubmitRequest{Graph: text, Options: Options{Algorithm: AlgoCoarse}})
+		switch code {
+		case http.StatusAccepted:
+			ids = append(ids, st.ID)
+		case http.StatusOK:
+			// Result-cache hit once the first run finishes — also fine.
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("submit %d = %d", i, code)
+		}
+	}
+	if !saw429 {
+		t.Skip("queue never filled on this machine")
+	}
+	for _, id := range ids {
+		pollDone(t, srv, id)
+	}
+}

@@ -1,0 +1,178 @@
+// Package jobs is the service layer behind the linkclustd daemon: a bounded
+// job queue feeding a worker pool that runs the facade's cancellable
+// clustering pipelines over shared immutable graphs, with content-addressed
+// caching of similarity pair lists and dendrograms, memory-budget admission
+// control, and graceful drain. The HTTP handler in this package is a thin
+// JSON shell over the Manager; cmd/linkclustd adds only flags, listening,
+// and signal handling.
+//
+// Determinism is what makes the cache sound: every engine in the facade
+// (serial, windowed-parallel, pipelined) produces a bitwise-identical merge
+// stream for a given (graph, algorithm) at any worker count, so worker
+// count and pipeline mode are deliberately excluded from cache keys — a
+// result computed at T=8 pipelined serves a T=1 serial request verbatim.
+// See DESIGN.md §8.
+package jobs
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"time"
+
+	"linkclust"
+)
+
+// Algorithm selects the sweeping phase of a job.
+type Algorithm string
+
+const (
+	// AlgoSweep is the fine-grained sweep (Algorithm 2); the engine —
+	// serial, windowed-parallel, or pipelined — follows Options.Workers and
+	// Options.Pipeline and never changes the output.
+	AlgoSweep Algorithm = "sweep"
+	// AlgoCoarse is the coarse-grained sweep of Section V with the default
+	// parameters (γ=2, φ=100, δ0=1000, η0=8).
+	AlgoCoarse Algorithm = "coarse"
+)
+
+// Options configures one clustering job. The zero value is valid: AlgoSweep,
+// serial, the manager's default timeout and memory budget.
+type Options struct {
+	// Algorithm selects the sweeping phase; empty means AlgoSweep.
+	Algorithm Algorithm `json:"algorithm,omitempty"`
+	// Workers is the per-job worker count, normalized like every facade
+	// entry point (see par.Normalize). Does not affect the output.
+	Workers int `json:"workers,omitempty"`
+	// Pipeline selects the sort-overlapped sweep when Workers > 1. Does not
+	// affect the output.
+	Pipeline bool `json:"pipeline,omitempty"`
+	// TimeoutMS bounds the job's run time; 0 inherits the manager default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MemBudgetBytes is the per-job soft live-heap growth budget; on breach
+	// at the init/sweep boundary the job degrades fine→coarse (see
+	// linkclust.ClusterOptions.MemBudgetBytes). 0 inherits the manager
+	// default; negative disables the budget for this job.
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
+}
+
+// normalize applies defaults and validates the algorithm.
+func (o Options) normalize() (Options, error) {
+	if o.Algorithm == "" {
+		o.Algorithm = AlgoSweep
+	}
+	if o.Algorithm != AlgoSweep && o.Algorithm != AlgoCoarse {
+		return o, fmt.Errorf("jobs: unknown algorithm %q (want %q or %q)", o.Algorithm, AlgoSweep, AlgoCoarse)
+	}
+	if o.TimeoutMS < 0 {
+		return o, fmt.Errorf("jobs: negative timeout_ms %d", o.TimeoutMS)
+	}
+	return o, nil
+}
+
+// resultKey is the content address of a job's output: SHA-256 over the
+// canonical graph bytes' hash and the result-affecting options. Worker
+// count and pipeline mode are excluded — the engines are bitwise
+// worker-invariant — and so are the timeout and memory budget, because a
+// run that degrades or is cancelled never populates the cache (only clean,
+// budget-respecting results are stored; see Manager.runJob).
+func (o Options) resultKey(graphKey [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(graphKey[:])
+	h.Write([]byte("algo=" + string(o.Algorithm)))
+	if o.Algorithm == AlgoCoarse {
+		p := linkclust.DefaultCoarseParams()
+		h.Write([]byte(fmt.Sprintf(";gamma=%g;phi=%d;delta0=%d;eta0=%g", p.Gamma, p.Phi, p.Delta0, p.Eta0)))
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Result summarizes a finished clustering run. MergesSHA256 is the SHA-256
+// of the serialized merge stream (the LCMG document served at
+// /jobs/{id}/merges) — the value a client compares against a local
+// `linkclust cluster -save-merges` file to confirm bitwise identity.
+type Result struct {
+	Levels         int32  `json:"levels"`
+	Merges         int    `json:"merges"`
+	FinalClusters  int    `json:"final_clusters"`
+	PairsProcessed int64  `json:"pairs_processed"`
+	MergesSHA256   string `json:"merges_sha256"`
+	Degraded       bool   `json:"degraded,omitempty"`
+}
+
+// Job is one queued/running/finished clustering request. Fields are
+// snapshotted by Manager.Status; external readers never touch a live Job.
+type Job struct {
+	ID         string
+	State      State
+	Options    Options
+	GraphSHA   string // hex of the canonical graph bytes' SHA-256
+	Cached     bool   // result served from the dendrogram cache
+	PairsHit   bool   // similarity phase skipped via the pair-list cache
+	EnqueuedAt time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
+	Err        string
+	Result     *Result
+
+	graphKey  [sha256.Size]byte
+	resultKey [sha256.Size]byte
+	graph     *linkclust.Graph // shared immutable; interned by the manager
+	report    *linkclust.RunReport
+	merges    []byte // serialized LCMG document
+}
+
+// Status is the JSON view of a job served by the HTTP layer.
+type Status struct {
+	ID         string    `json:"id"`
+	State      State     `json:"state"`
+	Options    Options   `json:"options"`
+	GraphSHA   string    `json:"graph_sha256"`
+	Cached     bool      `json:"cached"`
+	PairsHit   bool      `json:"pairs_cache_hit"`
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	Error      string    `json:"error,omitempty"`
+	Result     *Result   `json:"result,omitempty"`
+}
+
+// snapshot renders the job for external readers; callers hold the manager
+// lock.
+func (j *Job) snapshot() Status {
+	s := Status{
+		ID:         j.ID,
+		State:      j.State,
+		Options:    j.Options,
+		GraphSHA:   j.GraphSHA,
+		Cached:     j.Cached,
+		PairsHit:   j.PairsHit,
+		EnqueuedAt: j.EnqueuedAt,
+		StartedAt:  j.StartedAt,
+		FinishedAt: j.FinishedAt,
+		Error:      j.Err,
+	}
+	if j.Result != nil {
+		r := *j.Result
+		s.Result = &r
+	}
+	return s
+}
+
+// jobID builds a debuggable id: a sequence number plus a graph-hash prefix.
+func jobID(seq int64, graphKey [sha256.Size]byte) string {
+	return "j" + strconv.FormatInt(seq, 10) + "-" + fmt.Sprintf("%x", graphKey[:4])
+}

@@ -1,0 +1,576 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linkclust"
+	"linkclust/internal/core"
+	"linkclust/internal/obs"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the bounded queue rejected the submission (429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrOverloaded means the admission memory check rejected the
+	// submission: the process live heap is already past the configured
+	// ceiling (429).
+	ErrOverloaded = errors.New("jobs: memory budget exhausted")
+	// ErrDraining means the manager is shutting down (503).
+	ErrDraining = errors.New("jobs: draining")
+	// ErrUnknownJob means the job id is not (or no longer) retained (404).
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrNotFinished means the requested artifact exists only for finished
+	// jobs (409).
+	ErrNotFinished = errors.New("jobs: job not finished")
+)
+
+// Config parameterizes a Manager. The zero value is usable: every field has
+// a conservative default applied by NewManager.
+type Config struct {
+	// Concurrency is the number of jobs run simultaneously (the worker-pool
+	// size; default 1). Each job additionally fans out to its own
+	// Options.Workers engine workers, so total goroutine pressure is
+	// bounded by Concurrency × par.DefaultCap().
+	Concurrency int
+	// QueueDepth bounds the number of jobs waiting to run (default 16);
+	// submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// DefaultJobTimeout applies to jobs that don't set Options.TimeoutMS
+	// (default 5m; <0 disables).
+	DefaultJobTimeout time.Duration
+	// MemBudgetBytes is the admission ceiling: a submission is rejected
+	// with ErrOverloaded while the process live heap exceeds it (0
+	// disables). Checked with a stop-the-world-free runtime/metrics read
+	// (obs.LiveHeapBytes) at every enqueue.
+	MemBudgetBytes int64
+	// JobMemBudgetBytes is the default per-job soft growth budget handed
+	// to the pipeline; breach at the init/sweep boundary degrades the job
+	// fine→coarse (0 disables).
+	JobMemBudgetBytes int64
+	// CacheEntries bounds each side of the content-addressed cache and the
+	// shared-graph registry (default 64; <0 disables caching).
+	CacheEntries int
+	// MaxJobs bounds retained job records; the oldest finished jobs are
+	// evicted first (default 1024).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultJobTimeout == 0 {
+		c.DefaultJobTimeout = 5 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Metrics is the monotonic-counter snapshot served at /metrics.
+type Metrics struct {
+	Submitted         int64 `json:"jobs_submitted"`
+	Completed         int64 `json:"jobs_completed"`
+	Failed            int64 `json:"jobs_failed"`
+	Canceled          int64 `json:"jobs_canceled"`
+	Degraded          int64 `json:"jobs_degraded"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedOverload  int64 `json:"rejected_mem_budget"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	CacheHitResult    int64 `json:"cache_hits_result"`
+	CacheHitPairs     int64 `json:"cache_hits_pairs"`
+	Active            int64 `json:"jobs_active"`
+	QueueDepth        int64 `json:"queue_depth"`
+	CachePairEntries  int64 `json:"cache_pair_entries"`
+	CacheResultEnts   int64 `json:"cache_result_entries"`
+	LiveHeapBytes     int64 `json:"live_heap_bytes"`
+}
+
+// Manager owns the queue, the worker pool, the caches, and every job
+// record. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	cache *cache
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // insertion order, for bounded retention
+	graphs   map[[sha256.Size]byte]*graphEntry
+	graphLRU []([sha256.Size]byte)
+	rawIndex map[[sha256.Size]byte]*rawEntry
+	rawLRU   []([sha256.Size]byte)
+	seq      int64
+
+	mSubmitted, mCompleted, mFailed, mCanceled, mDegraded atomic.Int64
+	mRejQueue, mRejOverload, mRejDraining                 atomic.Int64
+	mHitResult, mHitPairs, mActive                        atomic.Int64
+}
+
+type graphEntry struct {
+	g *linkclust.Graph
+}
+
+// rawEntry short-circuits re-parsing: byte-identical submissions map
+// straight to their canonical graph key and shared parsed Graph. Without it
+// every cached resubmit would still pay the full text parse + canonical
+// serialization just to recompute a key the manager already knows.
+type rawEntry struct {
+	graphKey [sha256.Size]byte
+	g        *linkclust.Graph
+}
+
+// NewManager starts a manager with cfg's worker pool running.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheEntries),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		graphs:   make(map[[sha256.Size]byte]*graphEntry),
+		rawIndex: make(map[[sha256.Size]byte]*rawEntry),
+	}
+	for i := 0; i < cfg.Concurrency; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit parses graphText (the library's text graph format, treated as
+// untrusted input), applies admission control, and either answers from the
+// result cache (the returned Status is already StateDone with Cached=true)
+// or enqueues a job. Admission order: drain state, then the memory ceiling
+// (cheap runtime/metrics read), then parsing, then the cache, then the
+// bounded queue.
+func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return Status{}, err
+	}
+	if m.isDraining() {
+		m.mRejDraining.Add(1)
+		return Status{}, ErrDraining
+	}
+	if m.cfg.MemBudgetBytes > 0 && int64(obs.LiveHeapBytes()) > m.cfg.MemBudgetBytes {
+		m.mRejOverload.Add(1)
+		return Status{}, fmt.Errorf("%w: live heap %d > budget %d bytes",
+			ErrOverloaded, obs.LiveHeapBytes(), m.cfg.MemBudgetBytes)
+	}
+	// Fast path for byte-identical resubmissions: the raw-bytes index maps
+	// straight to the canonical key and the shared parsed Graph, skipping
+	// the parse + canonical serialization entirely — on a result-cache hit
+	// the whole submission is then a couple of hashes and map lookups.
+	rawKey := sha256.Sum256(graphText)
+	var (
+		g        *linkclust.Graph
+		graphKey [sha256.Size]byte
+	)
+	m.mu.Lock()
+	if e, ok := m.rawIndex[rawKey]; ok {
+		g, graphKey = e.g, e.graphKey
+	}
+	m.mu.Unlock()
+	if g == nil {
+		var err error
+		g, err = linkclust.ReadGraph(bytes.NewReader(graphText))
+		if err != nil {
+			return Status{}, fmt.Errorf("jobs: parsing graph: %w", err)
+		}
+		// Content address: hash the *canonical* serialization, not the
+		// request bytes, so whitespace/comment variants of the same graph
+		// share cache entries and one immutable in-memory Graph.
+		var canon bytes.Buffer
+		if err := linkclust.WriteGraph(&canon, g); err != nil {
+			return Status{}, err
+		}
+		graphKey = sha256.Sum256(canon.Bytes())
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.mRejDraining.Add(1)
+		return Status{}, ErrDraining
+	}
+	m.seq++
+	j := &Job{
+		ID:         jobID(m.seq, graphKey),
+		State:      StateQueued,
+		Options:    opts,
+		GraphSHA:   hex.EncodeToString(graphKey[:]),
+		EnqueuedAt: time.Now(),
+		graphKey:   graphKey,
+		resultKey:  opts.resultKey(graphKey),
+	}
+	j.graph = m.internGraphLocked(graphKey, g)
+	m.recordRawLocked(rawKey, graphKey, j.graph)
+	m.mSubmitted.Add(1)
+
+	// Full-result cache hit: the job completes at submission, no queue, no
+	// phases — the run report records only the hit.
+	if e := m.cache.getResult(j.resultKey); e != nil {
+		m.mHitResult.Add(1)
+		j.State = StateDone
+		j.Cached = true
+		now := time.Now()
+		j.StartedAt, j.FinishedAt = now, now
+		r := e.result
+		j.Result = &r
+		j.merges = e.merges
+		rec := linkclust.NewRecorder()
+		rec.SetMeta("job", j.ID)
+		rec.SetMeta("cache", "result-hit")
+		rec.SetMeta("algorithm", string(opts.Algorithm))
+		j.report = rec.Report()
+		m.retainLocked(j)
+		s := j.snapshot()
+		m.mu.Unlock()
+		m.mCompleted.Add(1)
+		return s, nil
+	}
+
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.mRejQueue.Add(1)
+		return Status{}, fmt.Errorf("%w: depth %d", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.retainLocked(j)
+	s := j.snapshot()
+	m.mu.Unlock()
+	return s, nil
+}
+
+// internGraphLocked deduplicates parsed graphs: concurrent jobs over the
+// same content share one immutable *Graph. The registry is bounded; an
+// evicted graph only means a later submission re-parses (jobs hold their
+// own pointer, so eviction never invalidates queued or running work).
+func (m *Manager) internGraphLocked(key [sha256.Size]byte, g *linkclust.Graph) *linkclust.Graph {
+	if e, ok := m.graphs[key]; ok {
+		return e.g
+	}
+	if m.cfg.CacheEntries > 0 {
+		m.graphs[key] = &graphEntry{g: g}
+		m.graphLRU = append(m.graphLRU, key)
+		if len(m.graphLRU) > m.cfg.CacheEntries {
+			delete(m.graphs, m.graphLRU[0])
+			m.graphLRU = m.graphLRU[1:]
+		}
+	}
+	return g
+}
+
+// recordRawLocked remembers that raw request bytes hashing to rawKey parse
+// to the graph interned under graphKey. Bounded like the graph registry; an
+// eviction only costs a later byte-identical submission one re-parse.
+func (m *Manager) recordRawLocked(rawKey, graphKey [sha256.Size]byte, g *linkclust.Graph) {
+	if m.cfg.CacheEntries <= 0 {
+		return
+	}
+	if _, ok := m.rawIndex[rawKey]; ok {
+		return
+	}
+	m.rawIndex[rawKey] = &rawEntry{graphKey: graphKey, g: g}
+	m.rawLRU = append(m.rawLRU, rawKey)
+	if len(m.rawLRU) > m.cfg.CacheEntries {
+		delete(m.rawIndex, m.rawLRU[0])
+		m.rawLRU = m.rawLRU[1:]
+	}
+}
+
+// retainLocked records the job and evicts the oldest finished records past
+// the retention bound.
+func (m *Manager) retainLocked(j *Job) {
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	if len(m.order) <= m.cfg.MaxJobs {
+		return
+	}
+	for i, id := range m.order {
+		old, ok := m.jobs[id]
+		if !ok || old.State == StateQueued || old.State == StateRunning {
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		return
+	}
+}
+
+// runJob executes one queued job on a worker-pool goroutine.
+func (m *Manager) runJob(j *Job) {
+	m.mActive.Add(1)
+	defer m.mActive.Add(-1)
+	m.mu.Lock()
+	j.State = StateRunning
+	j.StartedAt = time.Now()
+	m.mu.Unlock()
+
+	rec := linkclust.NewRecorder()
+	rec.SetMeta("job", j.ID)
+	rec.SetMeta("algorithm", string(j.Options.Algorithm))
+	rec.SetMeta("workers", strconv.Itoa(j.Options.Workers))
+
+	ctx := m.baseCtx
+	timeout := time.Duration(j.Options.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = m.cfg.DefaultJobTimeout
+	}
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	res, merges, pairsHit, err := m.execute(ctx, j, rec)
+	cancel()
+
+	m.mu.Lock()
+	j.FinishedAt = time.Now()
+	j.PairsHit = pairsHit
+	switch {
+	case err == nil:
+		j.State = StateDone
+		j.Result = res
+		j.merges = merges
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.State = StateCanceled
+		j.Err = err.Error()
+	default:
+		j.State = StateFailed
+		j.Err = err.Error()
+	}
+	if err != nil {
+		// Preserve the partial report, tagged like the CLI's error path.
+		rec.SetMeta("error", err.Error())
+	}
+	j.report = rec.Report()
+	m.mu.Unlock()
+
+	switch j.State {
+	case StateDone:
+		m.mCompleted.Add(1)
+	case StateCanceled:
+		m.mCanceled.Add(1)
+	default:
+		m.mFailed.Add(1)
+	}
+}
+
+// execute runs the cache-aware pipeline: Phase I from the pair-list cache
+// when possible, the memory-budget degrade check at the phase boundary,
+// then the engine selected by the job's options. Only clean (non-degraded,
+// non-error) results populate the result cache, keeping cached entries
+// bitwise identical to what any engine would recompute.
+func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) (*Result, []byte, bool, error) {
+	g := j.graph
+	budgetBytes := j.Options.MemBudgetBytes
+	if budgetBytes == 0 {
+		budgetBytes = m.cfg.JobMemBudgetBytes
+	}
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	budget := obs.NewMemBudget(budgetBytes)
+
+	pairsHit := false
+	var pl *linkclust.PairList
+	if cached := m.cache.getPairs(j.graphKey); cached != nil {
+		m.mHitPairs.Add(1)
+		pairsHit = true
+		rec.SetMeta("cache", "pairs-hit")
+		pl = cached
+	} else {
+		var err error
+		pl, err = linkclust.SimilarityCtx(ctx, g, j.Options.Workers, rec)
+		if err != nil {
+			return nil, nil, pairsHit, err
+		}
+		// Store before the sweep sorts pl in place; putPairs clones.
+		m.cache.putPairs(j.graphKey, pl)
+	}
+
+	degraded := false
+	if budget.Exceeded() {
+		rec.Add(linkclust.CtrMemBudgetDegrades, 1)
+		m.mDegraded.Add(1)
+		degraded = true
+	}
+
+	var (
+		merges []core.Merge
+		res    = &Result{Degraded: degraded}
+	)
+	if j.Options.Algorithm == AlgoCoarse || degraded {
+		params := linkclust.DefaultCoarseParams()
+		params.Workers = j.Options.Workers
+		cres, err := linkclust.CoarseSweepCtx(ctx, g, pl, params, rec)
+		if err != nil {
+			return nil, nil, pairsHit, err
+		}
+		merges = cres.Merges
+		res.Levels = cres.Levels
+		res.FinalClusters = cres.FinalClusters
+		res.PairsProcessed = cres.OpsProcessed
+	} else {
+		var (
+			sres *linkclust.Result
+			err  error
+		)
+		switch {
+		case j.Options.Pipeline:
+			sres, err = linkclust.SweepPipelinedCtx(ctx, g, pl, j.Options.Workers, rec)
+		case j.Options.Workers > 1:
+			sres, err = linkclust.SweepParallelCtx(ctx, g, pl, j.Options.Workers, rec)
+		default:
+			sres, err = linkclust.SweepCtx(ctx, g, pl, rec)
+		}
+		if err != nil {
+			return nil, nil, pairsHit, err
+		}
+		merges = sres.Merges
+		res.Levels = sres.Levels
+		res.FinalClusters = sres.NumClusters()
+		res.PairsProcessed = sres.PairsProcessed
+	}
+	res.Merges = len(merges)
+
+	var buf bytes.Buffer
+	if err := core.WriteMerges(&buf, g.NumEdges(), merges); err != nil {
+		return nil, nil, pairsHit, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	res.MergesSHA256 = hex.EncodeToString(sum[:])
+
+	if !degraded {
+		m.cache.putResult(&resultEntry{key: j.resultKey, result: *res, merges: buf.Bytes()})
+	}
+	return res, buf.Bytes(), pairsHit, nil
+}
+
+// Status returns the job's current state snapshot.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	return j.snapshot(), nil
+}
+
+// Report returns the job's run report: the full instrumented report for
+// finished jobs (partial and error-tagged for canceled/failed ones).
+func (m *Manager) Report(id string) (*linkclust.RunReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.report == nil {
+		return nil, ErrNotFinished
+	}
+	return j.report, nil
+}
+
+// Merges returns the serialized LCMG merge-stream document of a finished
+// job. The bytes are immutable; callers must not modify them.
+func (m *Manager) Merges(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.State != StateDone {
+		return nil, ErrNotFinished
+	}
+	return j.merges, nil
+}
+
+// Metrics snapshots the manager's counters and gauges.
+func (m *Manager) Metrics() Metrics {
+	pairEnts, resEnts := m.cache.stats()
+	return Metrics{
+		Submitted:         m.mSubmitted.Load(),
+		Completed:         m.mCompleted.Load(),
+		Failed:            m.mFailed.Load(),
+		Canceled:          m.mCanceled.Load(),
+		Degraded:          m.mDegraded.Load(),
+		RejectedQueueFull: m.mRejQueue.Load(),
+		RejectedOverload:  m.mRejOverload.Load(),
+		RejectedDraining:  m.mRejDraining.Load(),
+		CacheHitResult:    m.mHitResult.Load(),
+		CacheHitPairs:     m.mHitPairs.Load(),
+		Active:            m.mActive.Load(),
+		QueueDepth:        int64(len(m.queue)),
+		CachePairEntries:  int64(pairEnts),
+		CacheResultEnts:   int64(resEnts),
+		LiveHeapBytes:     int64(obs.LiveHeapBytes()),
+	}
+}
+
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Draining reports whether Drain has begun (used by the HTTP layer's
+// health endpoint).
+func (m *Manager) Draining() bool { return m.isDraining() }
+
+// Drain shuts the manager down gracefully: new submissions are rejected
+// with ErrDraining, in-flight jobs are cancelled through their contexts
+// (the engines observe it within one scheduling window and unwind with
+// their partial run reports preserved), still-queued jobs run against the
+// already-cancelled context and finish immediately as canceled, and Drain
+// returns once every worker goroutine has exited — no goroutine outlives
+// the call. Idempotent.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	if !already {
+		// Safe: sends happen only under m.mu with draining false.
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Close is Drain; it exists for defer symmetry in tests.
+func (m *Manager) Close() { m.Drain() }

@@ -1,0 +1,455 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"linkclust"
+	"linkclust/internal/core"
+	"linkclust/internal/fault"
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+func TestMain(m *testing.M) {
+	// The suite exercises multi-worker jobs; on a 1-core CI box the
+	// schedulable-parallelism cap would normalize them all to serial. Raising
+	// GOMAXPROCS is the supported oversubscription knob (see par.DefaultCap).
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}
+
+// graphText serializes a deterministic random graph in the canonical text
+// format, as a client would submit it.
+func graphText(t *testing.T, n int, seed uint64) []byte {
+	t.Helper()
+	g := graph.ErdosRenyi(n, 0.2, rng.New(seed))
+	var buf bytes.Buffer
+	if err := linkclust.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// waitState polls until the job reaches a terminal state and returns it.
+func waitState(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// soloMerges runs the same clustering outside the service and returns the
+// serialized merge stream — the ground truth for bitwise-identity checks.
+func soloMerges(t *testing.T, text []byte, workers int) []byte {
+	t.Helper()
+	g, err := linkclust.ReadGraph(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := linkclust.ClusterCtx(context.Background(), g, linkclust.ClusterOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.WriteMerges(&buf, g.NumEdges(), res.Merges); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSubmitRunMatchesSolo(t *testing.T) {
+	m := NewManager(Config{Concurrency: 2})
+	defer m.Close()
+
+	text := graphText(t, 60, 1)
+	st, err := m.Submit(text, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("fresh submission state = %s, want %s", st.State, StateQueued)
+	}
+	st = waitState(t, m, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", st.State, st.Error)
+	}
+	if st.Cached || st.PairsHit {
+		t.Fatalf("cold run reported cache hits: result=%v pairs=%v", st.Cached, st.PairsHit)
+	}
+
+	got, err := m.Merges(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := soloMerges(t, text, 1)
+	if !bytes.Equal(got, want) {
+		t.Fatal("service merge stream differs from solo ClusterCtx run")
+	}
+	sum := sha256.Sum256(want)
+	if st.Result.MergesSHA256 != hex.EncodeToString(sum[:]) {
+		t.Fatalf("MergesSHA256 = %s, want %x", st.Result.MergesSHA256, sum)
+	}
+
+	rep, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPhase(rep, "similarity") {
+		t.Fatal("cold run report is missing the similarity phase")
+	}
+}
+
+func hasPhase(rep *linkclust.RunReport, name string) bool {
+	for _, p := range rep.Phases {
+		if p.Path == name || strings.HasPrefix(p.Path, name+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResultCacheHitSkipsEverything(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	text := graphText(t, 50, 2)
+	st, err := m.Submit(text, Options{Workers: 4, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitState(t, m, st.ID)
+	if first.State != StateDone {
+		t.Fatalf("first job %s (%s)", first.State, first.Error)
+	}
+
+	// Same graph, different worker count and engine: the engines are bitwise
+	// worker-invariant, so this must be served from the dendrogram cache
+	// without touching the queue.
+	st2, err := m.Submit(text, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateDone || !st2.Cached {
+		t.Fatalf("resubmission state=%s cached=%v, want immediate cached done", st2.State, st2.Cached)
+	}
+	if st2.Result.MergesSHA256 != first.Result.MergesSHA256 {
+		t.Fatal("cached result hash differs from original")
+	}
+	rep, err := m.Report(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 0 {
+		t.Fatalf("cached job ran phases %v, want none", rep.Phases)
+	}
+	if rep.Meta["cache"] != "result-hit" {
+		t.Fatalf("cache meta = %q, want result-hit", rep.Meta["cache"])
+	}
+
+	m1, err := m.Merges(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.Merges(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("cached merge stream differs from original")
+	}
+}
+
+func TestPairsCacheSkipsSimilarity(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	text := graphText(t, 50, 3)
+	st, err := m.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitState(t, m, st.ID); st.State != StateDone {
+		t.Fatalf("sweep job %s (%s)", st.State, st.Error)
+	}
+
+	// Same graph, different algorithm: misses the result cache but reuses
+	// the Phase I pair list.
+	st2, err := m.Submit(text, Options{Algorithm: AlgoCoarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 = waitState(t, m, st2.ID); st2.State != StateDone {
+		t.Fatalf("coarse job %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Cached {
+		t.Fatal("different algorithm hit the result cache")
+	}
+	if !st2.PairsHit {
+		t.Fatal("coarse job recomputed the pair list instead of hitting the cache")
+	}
+	rep, err := m.Report(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasPhase(rep, "similarity") {
+		t.Fatal("pairs-cache hit still ran the similarity phase")
+	}
+	if !hasPhase(rep, "coarse") && len(rep.Phases) == 0 {
+		t.Fatal("coarse job recorded no sweep phases")
+	}
+}
+
+func TestPairsCacheResultIdentical(t *testing.T) {
+	// A run whose Phase I came from the cache must produce the same merge
+	// stream as a cold run: the cache stores the unsorted master order and
+	// clones on every hit, so the sweep's in-place sort sees the same input.
+	cold := NewManager(Config{CacheEntries: -1}) // caching disabled
+	defer cold.Close()
+	warm := NewManager(Config{})
+	defer warm.Close()
+
+	text := graphText(t, 55, 4)
+	stCold, err := cold.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCold = waitState(t, cold, stCold.ID); stCold.State != StateDone {
+		t.Fatalf("cold job %s (%s)", stCold.State, stCold.Error)
+	}
+
+	// Prime the pair cache, then flush the result cache by submitting the
+	// other algorithm first.
+	stA, err := warm.Submit(text, Options{Algorithm: AlgoCoarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA = waitState(t, warm, stA.ID); stA.State != StateDone {
+		t.Fatalf("priming job %s (%s)", stA.State, stA.Error)
+	}
+	stB, err := warm.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB = waitState(t, warm, stB.ID); stB.State != StateDone {
+		t.Fatalf("warm job %s (%s)", stB.State, stB.Error)
+	}
+	if !stB.PairsHit {
+		t.Fatal("warm job did not hit the pair cache")
+	}
+	if stB.Result.MergesSHA256 != stCold.Result.MergesSHA256 {
+		t.Fatal("pairs-cache-fed sweep diverged from cold run")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	m := NewManager(Config{Concurrency: 1, QueueDepth: 1})
+	defer m.Close()
+
+	// Big enough that the worker is still busy while we overfill the queue.
+	big := graphText(t, 150, 5)
+	ids := []string{}
+	sawFull := false
+	for i := 0; i < 12; i++ {
+		st, err := m.Submit(big, Options{})
+		switch {
+		case err == nil:
+			ids = append(ids, st.ID)
+		case errors.Is(err, ErrQueueFull):
+			sawFull = true
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	if !sawFull {
+		t.Skip("queue never filled on this machine (worker drained too fast)")
+	}
+	if m.Metrics().RejectedQueueFull == 0 {
+		t.Fatal("queue-full rejection not counted")
+	}
+	for _, id := range ids {
+		waitState(t, m, id)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	if _, err := m.Submit(graphText(t, 10, 6), Options{Algorithm: "fancy"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := m.Submit([]byte("not a graph"), Options{}); err == nil {
+		t.Fatal("malformed graph accepted")
+	}
+}
+
+func TestDegradedRunNotCached(t *testing.T) {
+	defer fault.Reset()
+	m := NewManager(Config{Concurrency: 1})
+	defer m.Close()
+
+	text := graphText(t, 40, 7)
+	fault.Reset()
+	fault.Arm(fault.MemBreach, 1, nil) // force the budget check to report a breach
+	st, err := m.Submit(text, Options{MemBudgetBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, m, st.ID)
+	fault.Reset()
+	if st.State != StateDone {
+		t.Fatalf("degraded job %s (%s)", st.State, st.Error)
+	}
+	if !st.Result.Degraded {
+		t.Fatal("forced breach did not degrade the job")
+	}
+	if m.Metrics().Degraded != 1 {
+		t.Fatal("degrade not counted")
+	}
+
+	// The degraded (coarse) result must not have been cached under the
+	// fine-sweep key: a resubmission without the fault runs cold.
+	st2, err := m.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached {
+		t.Fatal("degraded result leaked into the result cache")
+	}
+	if st2 = waitState(t, m, st2.ID); st2.State != StateDone {
+		t.Fatalf("follow-up job %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Result.Degraded {
+		t.Fatal("follow-up run degraded without a fault armed")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	m := NewManager(Config{Concurrency: 1})
+	defer m.Close()
+
+	st, err := m.Submit(graphText(t, 200, 8), Options{TimeoutMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, m, st.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("timed-out job state = %s, want canceled", st.State)
+	}
+	rep, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Meta["error"], "deadline") {
+		t.Fatalf("partial report error meta = %q, want deadline mention", rep.Meta["error"])
+	}
+}
+
+func TestDrainCancelsAndLeaksNothing(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m := NewManager(Config{Concurrency: 2, QueueDepth: 8})
+
+	// Enough sizeable jobs that some are mid-flight and some still queued
+	// when the drain lands.
+	ids := []string{}
+	for i := 0; i < 6; i++ {
+		st, err := m.Submit(graphText(t, 150, uint64(10+i)), Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	time.Sleep(5 * time.Millisecond) // let workers pick something up
+	m.Drain()
+
+	if _, err := m.Submit(graphText(t, 10, 99), Options{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit error = %v, want ErrDraining", err)
+	}
+
+	for _, id := range ids {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case StateDone:
+			// Finished before the drain landed — fine.
+		case StateCanceled:
+			rep, err := m.Report(id)
+			if err != nil {
+				t.Fatalf("canceled job %s lost its partial report: %v", id, err)
+			}
+			if rep.Meta["error"] == "" {
+				t.Fatalf("canceled job %s report not error-tagged", id)
+			}
+		default:
+			t.Fatalf("job %s left in state %s after drain", id, st.State)
+		}
+	}
+
+	// Drain promises no goroutine outlives it (same contract as the par
+	// pools; see internal/par/leak_test.go).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after drain: %d running, baseline %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	m.Drain() // idempotent
+}
+
+func TestGraphInterning(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	text := graphText(t, 30, 20)
+	// Whitespace/comment variants must canonicalize to the same key.
+	variant := append([]byte("# a comment\n\n"), text...)
+
+	st1, err := m.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := m.Submit(variant, Options{Algorithm: AlgoCoarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.GraphSHA != st2.GraphSHA {
+		t.Fatalf("canonicalization failed: %s vs %s", st1.GraphSHA, st2.GraphSHA)
+	}
+	waitState(t, m, st1.ID)
+	waitState(t, m, st2.ID)
+
+	m.mu.Lock()
+	j1, j2 := m.jobs[st1.ID], m.jobs[st2.ID]
+	shared := j1.graph == j2.graph
+	m.mu.Unlock()
+	if !shared {
+		t.Fatal("equal-content graphs were not interned to one shared instance")
+	}
+}

@@ -1,27 +1,55 @@
 package obs
 
 import (
-	"runtime"
+	"runtime/metrics"
 
 	"linkclust/internal/fault"
 )
 
+// liveHeapMetric is the runtime/metrics key the budget machinery samples:
+// bytes occupied by live heap objects (plus dead objects not yet swept) —
+// the runtime/metrics counterpart of MemStats.HeapAlloc. Unlike
+// runtime.ReadMemStats, reading it does not stop the world: metrics.Read
+// takes a snapshot of runtime-maintained counters, costing well under a
+// microsecond (see BenchmarkMemBudgetExceeded), so it is safe on paths hot
+// enough to run per job admission, not just at phase boundaries.
+const liveHeapMetric = "/memory/classes/heap/objects:bytes"
+
+// LiveHeapBytes returns the current live-heap size without stopping the
+// world. It is safe to call concurrently from any goroutine; services use
+// it for admission checks against an absolute heap ceiling (MemBudget
+// measures *growth* relative to its construction instead).
+func LiveHeapBytes() uint64 {
+	s := [1]metrics.Sample{{Name: liveHeapMetric}}
+	metrics.Read(s[:])
+	return s[0].Value.Uint64()
+}
+
 // MemBudget is a soft memory budget checked at phase boundaries: it captures
-// a runtime.MemStats baseline at construction and compares the live-heap
-// growth against the limit on each Exceeded call. "Soft" means nothing is
-// enforced between checks — a phase may overshoot and the overshoot is only
-// observed at its boundary — which is the usable contract for this pipeline:
+// a live-heap baseline at construction and compares the live-heap growth
+// against the limit on each Exceeded call. "Soft" means nothing is enforced
+// between checks — a phase may overshoot and the overshoot is only observed
+// at its boundary — which is the usable contract for this pipeline:
 // allocation happens in a few large, phase-aligned steps (pair list, CSR
 // arenas, chain snapshots), so the boundary after the initialization phase
 // is exactly where degrading to the coarse algorithm still saves the
 // sweep-phase allocations.
 //
+// The heap is sampled through runtime/metrics, not runtime.ReadMemStats:
+// ReadMemStats stops the world, which made every budget check a global
+// pause of every running job — unacceptable once a daemon calls Exceeded
+// at each admission. The runtime/metrics value may lag allocations by a
+// per-P cache flush, a tolerance the soft contract already absorbs.
+//
 // A nil *MemBudget is valid and never exceeded, mirroring the package's nil
-// *Recorder convention.
+// *Recorder convention. A MemBudget is owned by one run: Exceeded and Used
+// are not safe for concurrent use (construct one budget per run or per
+// admission instead — construction is as cheap as a check).
 type MemBudget struct {
 	limit     int64
 	baseHeap  uint64
 	lastDelta int64
+	sample    [1]metrics.Sample
 }
 
 // NewMemBudget returns a budget of limitBytes of live-heap growth measured
@@ -30,16 +58,19 @@ func NewMemBudget(limitBytes int64) *MemBudget {
 	if limitBytes <= 0 {
 		return nil
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return &MemBudget{limit: limitBytes, baseHeap: ms.HeapAlloc}
+	b := &MemBudget{limit: limitBytes}
+	b.sample[0].Name = liveHeapMetric
+	metrics.Read(b.sample[:])
+	b.baseHeap = b.sample[0].Value.Uint64()
+	return b
 }
 
 // Exceeded reports whether the live heap has grown past the budget since
-// construction. It reads runtime.MemStats (microseconds, not free — call at
-// phase boundaries, never in hot loops) and records the observed delta for
-// Used. The fault.MemBreach injection point is checked first: a firing hit
-// reports a breach without the heap actually having grown, which is how the
+// construction, recording the observed delta for Used. The read is a
+// stop-the-world-free runtime/metrics sample costing well under a
+// microsecond, cheap enough for per-job admission checks. The
+// fault.MemBreach injection point is checked first: a firing hit reports a
+// breach without the heap actually having grown, which is how the
 // degradation path is tested deterministically.
 func (b *MemBudget) Exceeded() bool {
 	if b == nil {
@@ -49,9 +80,8 @@ func (b *MemBudget) Exceeded() bool {
 		b.lastDelta = b.limit + 1
 		return true
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	b.lastDelta = int64(ms.HeapAlloc) - int64(b.baseHeap)
+	metrics.Read(b.sample[:])
+	b.lastDelta = int64(b.sample[0].Value.Uint64()) - int64(b.baseHeap)
 	return b.lastDelta > b.limit
 }
 

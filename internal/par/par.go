@@ -11,20 +11,25 @@ import (
 	"runtime"
 )
 
-// MinCap is the floor of the default worker cap. Oversubscription up to
-// MinCap goroutines is allowed even on machines with fewer cores: goroutine
-// fan-out is cheap, thread-sweep experiments keep their requested worker
-// counts, and the parallel code paths stay exercisable (and race-testable)
-// on single-core CI runners.
-const MinCap = 8
-
-// DefaultCap returns the default worker cap: runtime.NumCPU(), with a floor
-// of MinCap.
+// DefaultCap returns the default worker cap:
+// max(runtime.GOMAXPROCS(0), runtime.NumCPU()).
+//
+// The cap used to carry an unconditional floor of 8, justified as "cheap
+// goroutine fan-out keeps parallel paths exercisable on single-core CI".
+// That floor oversubscribes constrained deployments: on a 1-core container
+// every Normalize(8) call was allowed through, so a daemon running several
+// concurrent jobs stacked 8 workers *each* onto one core — pure scheduling
+// overhead plus per-worker memory (the coarse sweep clones an array-C
+// replica per worker). The cap now tracks what the scheduler can actually
+// run: NumCPU, or GOMAXPROCS when the operator raised it above NumCPU
+// (deliberate oversubscription — e.g. race tests exercising T=8
+// interleavings on a 1-core runner — stays one knob away).
 func DefaultCap() int {
-	if n := runtime.NumCPU(); n > MinCap {
-		return n
+	n := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p > n {
+		return p
 	}
-	return MinCap
+	return n
 }
 
 // Normalize clamps a requested worker count to [1, DefaultCap()]: values

@@ -37,12 +37,29 @@ func TestNormalizeCapExplicit(t *testing.T) {
 	}
 }
 
-func TestDefaultCapFloor(t *testing.T) {
-	cap := DefaultCap()
-	if cap < MinCap {
-		t.Fatalf("DefaultCap() = %d, below floor %d", cap, MinCap)
+// TestDefaultCapTracksSchedulable pins the post-floor-removal contract:
+// the cap is exactly what the scheduler can run — max(GOMAXPROCS, NumCPU)
+// — with no unconditional floor, so single-core containers normalize every
+// request down to 1 worker unless the operator raises GOMAXPROCS.
+func TestDefaultCapTracksSchedulable(t *testing.T) {
+	want := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p > want {
+		want = p
 	}
-	if n := runtime.NumCPU(); n > MinCap && cap != n {
-		t.Fatalf("DefaultCap() = %d, want NumCPU = %d", cap, n)
+	if got := DefaultCap(); got != want {
+		t.Fatalf("DefaultCap() = %d, want max(GOMAXPROCS, NumCPU) = %d", got, want)
+	}
+}
+
+// TestDefaultCapHonorsRaisedGOMAXPROCS verifies the deliberate-
+// oversubscription escape hatch: raising GOMAXPROCS above NumCPU raises
+// the cap with it.
+func TestDefaultCapHonorsRaisedGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	raised := runtime.NumCPU() + 3
+	runtime.GOMAXPROCS(raised)
+	defer runtime.GOMAXPROCS(old)
+	if got := DefaultCap(); got != raised {
+		t.Fatalf("DefaultCap() with GOMAXPROCS=%d = %d, want %d", raised, got, raised)
 	}
 }

@@ -1,0 +1,21 @@
+package par
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain deliberately oversubscribes the runtime on small CI machines:
+// DefaultCap tracks max(GOMAXPROCS, NumCPU) with no unconditional floor, so
+// on a 1-core runner every multi-worker scenario would normalize down to
+// serial and the pool fan-out, panic-isolation, and leak paths under test
+// would never engage. Raising GOMAXPROCS is the supported
+// deliberate-oversubscription knob (see DefaultCap), used here exactly the
+// way an operator would use it.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}

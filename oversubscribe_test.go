@@ -1,0 +1,20 @@
+package linkclust
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain oversubscribes the runtime on small CI machines so the
+// differential, race, cancellation, and fault suites keep exercising real
+// multi-worker interleavings: par.DefaultCap tracks max(GOMAXPROCS, NumCPU)
+// with no unconditional floor, and without this bump a 1-core runner would
+// clamp every T=2..8 scenario to serial — the suites would pass trivially
+// without testing the parallel engines at all.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}

@@ -8,6 +8,7 @@ package linkclust
 // interleavings the race detector needs.
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -220,6 +221,60 @@ func TestSweepSortsPairListInPlace(t *testing.T) {
 			t.Fatalf("caller's list not sorted in place by parallel sweep at %d", i)
 		}
 	}
+}
+
+// TestRaceClusterCtxSharedGraph is the service-layer scenario under the race
+// detector: many concurrent ClusterCtx jobs over ONE shared immutable Graph,
+// with mixed engines (serial, windowed-parallel, pipelined) and mixed worker
+// counts — exactly how the linkclustd worker pool runs jobs against interned
+// graphs. Every concurrent result must be bitwise identical to the solo
+// serial run; any engine write to shared graph state would surface both as a
+// race report and as a diverging merge stream.
+func TestRaceClusterCtxSharedGraph(t *testing.T) {
+	g := raceGraph(7)
+	solo, err := ClusterCtx(context.Background(), g, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type variant struct {
+		workers  int
+		pipeline bool
+	}
+	variants := []variant{
+		{1, false}, {2, false}, {4, false}, {8, false},
+		{2, true}, {4, true}, {8, true},
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 3; rep++ {
+		for _, v := range variants {
+			wg.Add(1)
+			go func(v variant) {
+				defer wg.Done()
+				res, err := ClusterCtx(context.Background(), g, ClusterOptions{
+					Workers:  v.workers,
+					Pipeline: v.pipeline,
+				})
+				if err != nil {
+					t.Errorf("workers=%d pipeline=%v: %v", v.workers, v.pipeline, err)
+					return
+				}
+				if len(res.Merges) != len(solo.Merges) {
+					t.Errorf("workers=%d pipeline=%v: %d merges, want %d",
+						v.workers, v.pipeline, len(res.Merges), len(solo.Merges))
+					return
+				}
+				for i := range solo.Merges {
+					if res.Merges[i] != solo.Merges[i] {
+						t.Errorf("workers=%d pipeline=%v merge %d: %+v, want %+v",
+							v.workers, v.pipeline, i, res.Merges[i], solo.Merges[i])
+						return
+					}
+				}
+			}(v)
+		}
+	}
+	wg.Wait()
 }
 
 // TestRaceSharedRecorder runs several instrumented pipelines concurrently
