@@ -39,6 +39,7 @@ package linkclust
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"linkclust/internal/assoc"
@@ -172,6 +173,20 @@ type ClusterOptions struct {
 	// the windowed parallel sweep when Workers > 1. Output is bitwise
 	// identical either way.
 	Pipeline bool
+	// Engine selects the sweeping engine explicitly: EngineSerial,
+	// EngineParallel, EnginePipelined, or EngineAuto, which picks serial
+	// below a measured op-count threshold (see core.SweepAutoMinOps and
+	// DESIGN.md) and otherwise honors Workers/Pipeline. Empty keeps the
+	// legacy switch (Pipeline → pipelined, Workers > 1 → parallel, else
+	// serial). Every engine is bitwise identical — Engine affects speed
+	// only. The resolved engine is recorded on the Recorder's run report as
+	// meta key "sweep_engine".
+	Engine string
+	// Relabel routes the initialization phase through the degree-ordered
+	// relabeled kernel (SimilarityRelabeled): vertices are renamed by
+	// descending degree for cache locality and every output is mapped back
+	// to original ids, so results are bitwise identical with or without it.
+	Relabel bool
 	// MemBudgetBytes, when positive, sets a soft live-heap budget for
 	// ClusterCtx: heap growth is measured from entry and checked at the
 	// initialization/sweep phase boundary, and on breach the run degrades
@@ -199,6 +214,25 @@ func Similarity(g *Graph) *PairList { return core.Similarity(g) }
 // cap.
 func SimilarityParallel(g *Graph, workers int) *PairList {
 	return core.SimilarityParallel(g, workers)
+}
+
+// SimilarityRelabeled runs the initialization phase over a degree-ordered
+// relabeled copy of the graph — vertices renamed by descending degree so hub
+// rows share cache lines in the wedge kernel's scratch — and maps every
+// output back to original ids: pairs, common-neighbor lists, and the master
+// order are bitwise identical to Similarity/SimilarityParallel for any
+// worker count. Edge ids are untouched by relabeling, so dendrograms and
+// chain arrays built downstream need no translation. workers is normalized
+// as in SimilarityParallel.
+func SimilarityRelabeled(g *Graph, workers int) *PairList {
+	return core.SimilarityRelabeled(g, workers)
+}
+
+// SimilarityRelabeledCtx is SimilarityRelabeled with cooperative
+// cancellation, panic isolation, and optional instrumentation, mirroring
+// SimilarityCtx.
+func SimilarityRelabeledCtx(ctx context.Context, g *Graph, workers int, rec *Recorder) (*PairList, error) {
+	return core.SimilarityRelabeledCtx(ctx, g, workers, rec)
 }
 
 // SimilarityLegacy runs the initialization phase through the original
@@ -333,7 +367,15 @@ func SweepPipelinedCtx(ctx context.Context, g *Graph, pl *PairList, workers int,
 // no fault is injected, the result is bitwise identical to Cluster.
 func ClusterCtx(ctx context.Context, g *Graph, opts ClusterOptions) (*Result, error) {
 	budget := obs.NewMemBudget(opts.MemBudgetBytes)
-	pl, err := core.SimilarityCtx(ctx, g, opts.Workers, opts.Recorder)
+	var (
+		pl  *PairList
+		err error
+	)
+	if opts.Relabel {
+		pl, err = core.SimilarityRelabeledCtx(ctx, g, opts.Workers, opts.Recorder)
+	} else {
+		pl, err = core.SimilarityCtx(ctx, g, opts.Workers, opts.Recorder)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -347,13 +389,53 @@ func ClusterCtx(ctx context.Context, g *Graph, opts ClusterOptions) (*Result, er
 		}
 		return coarseToResult(cres), nil
 	}
-	switch {
-	case opts.Pipeline:
+	engine, err := resolveSweepEngine(opts, pl)
+	if err != nil {
+		return nil, err
+	}
+	opts.Recorder.SetMeta("sweep_engine", engine)
+	switch engine {
+	case core.SweepEnginePipelined:
 		return core.SweepPipelinedCtx(ctx, g, pl, opts.Workers, opts.Recorder)
-	case opts.Workers > 1:
+	case core.SweepEngineParallel:
 		return core.SweepParallelCtx(ctx, g, pl, opts.Workers, opts.Recorder)
 	default:
 		return core.SweepCtx(ctx, g, pl, opts.Recorder)
+	}
+}
+
+// Sweep engine names accepted by ClusterOptions.Engine. Every engine yields
+// a bitwise-identical merge stream; the choice affects speed only.
+const (
+	EngineAuto      = core.SweepEngineAuto
+	EngineSerial    = core.SweepEngineSerial
+	EngineParallel  = core.SweepEngineParallel
+	EnginePipelined = core.SweepEnginePipelined
+)
+
+// resolveSweepEngine maps ClusterOptions to a concrete sweep engine. The
+// empty Engine keeps the pre-Engine behavior (Pipeline → pipelined,
+// Workers > 1 → parallel, else serial); EngineAuto consults the measured
+// op-count threshold with the pair list's true operation count (K2, the
+// exact number of operations the sweep will execute).
+func resolveSweepEngine(opts ClusterOptions, pl *PairList) (string, error) {
+	switch opts.Engine {
+	case "":
+		switch {
+		case opts.Pipeline:
+			return EnginePipelined, nil
+		case opts.Workers > 1:
+			return EngineParallel, nil
+		default:
+			return EngineSerial, nil
+		}
+	case EngineAuto:
+		return core.ChooseSweepEngine(pl.NumIncidentPairs(), opts.Workers, opts.Pipeline), nil
+	case EngineSerial, EngineParallel, EnginePipelined:
+		return opts.Engine, nil
+	default:
+		return "", fmt.Errorf("linkclust: unknown sweep engine %q (want %q, %q, %q, or %q)",
+			opts.Engine, EngineAuto, EngineSerial, EngineParallel, EnginePipelined)
 	}
 }
 

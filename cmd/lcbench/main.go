@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"linkclust/internal/bench"
@@ -36,8 +37,10 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Uint64("seed", 0, "corpus seed override (0 = preset default)")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		report     = fs.String("report", "", "write a JSON run report with per-experiment phase timings to this file (e.g. BENCH_small.json)")
-		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (BENCH_similarity.json), sweepkernel (BENCH_sweep.json) and pipeline (BENCH_pipeline.json)")
+		benchjson  = fs.String("benchjson", "", "write machine-readable microbenchmark results (linkclust/bench/v1) to this file; used by -experiment simkernel (BENCH_similarity.json), sweepkernel (BENCH_sweep.json), pipeline (BENCH_pipeline.json) and kernels (BENCH_kernels.json)")
 		validate   = fs.Bool("validate", false, "validate the BENCH_*.json files given as arguments against the linkclust/bench/v1 schema and exit")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the experiment to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,10 +90,43 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "lcbench: experiment=%s size=%s repeats=%d cpus=%d corpus={vocab=%d docs=%d seed=%d}\n\n",
 		exp.Name, *size, cfg.Repeats, runtime.NumCPU(),
 		cfg.Corpus.Vocab, cfg.Corpus.Docs, cfg.Corpus.Seed)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "lcbench: closing cpu profile:", err)
+			}
+		}()
+	}
 	start := time.Now()
 	end := rec.Phase(exp.Name)
 	runErr := exp.Run(out, cfg)
 	end()
+	if *memprofile != "" {
+		// Profile live allocations after the run; a forced GC makes the
+		// heap profile reflect retained memory, not collectable garbage.
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "heap profile written to %s\n", *memprofile)
+	}
 	if runErr != nil {
 		// The phases timed so far are still worth keeping: write the partial
 		// report tagged with the error, then fail with the experiment's error.

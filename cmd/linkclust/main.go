@@ -433,6 +433,8 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		algo     = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
 		workers  = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
 		pipeline = fs.Bool("pipeline", false, "sweep: overlap sorting with merging (output unchanged)")
+		engine   = fs.String("engine", "auto", "sweep engine: auto, serial, parallel, pipelined (output identical; auto falls back to serial below a measured op-count threshold)")
+		relabel  = fs.Bool("relabel", false, "run phase I over a degree-relabeled graph for cache locality (output unchanged)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		gamma    = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
 		phi      = fs.Int("phi", 100, "coarse: stop below this many clusters")
@@ -453,6 +455,14 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 	if *pipeline && *algo != "sweep" {
 		return fmt.Errorf("-pipeline only applies to -algo sweep")
 	}
+	switch *engine {
+	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined:
+	default:
+		return fmt.Errorf("unknown -engine %q (want auto, serial, parallel or pipelined)", *engine)
+	}
+	if *pipeline && *engine != linkclust.EngineAuto && *engine != linkclust.EnginePipelined {
+		return fmt.Errorf("-pipeline conflicts with -engine %s", *engine)
+	}
 	ctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
 	var rec *linkclust.Recorder
@@ -462,6 +472,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		rec.SetMeta("algo", *algo)
 		rec.SetMeta("workers", strconv.Itoa(*workers))
 		rec.SetMeta("pipeline", strconv.FormatBool(*pipeline))
+		rec.SetMeta("relabel", strconv.FormatBool(*relabel))
 	}
 	reportWritten := false
 	defer reportOnError(rec, *report, stdout, &err, &reportWritten)()
@@ -496,6 +507,12 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		if err != nil {
 			return err
 		}
+	} else if *relabel {
+		// Bitwise identical to the plain kernel — see SimilarityRelabeled.
+		pl, err = core.SimilarityRelabeledCtx(ctx, g, *workers, rec)
+		if err != nil {
+			return err
+		}
 	} else {
 		pl, err = core.SimilarityCtx(ctx, g, *workers, rec)
 		if err != nil {
@@ -514,13 +531,23 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 	switch *algo {
 	case "sweep":
 		// The parallel and pipelined engines reproduce the serial merge
-		// stream bitwise, so -workers and -pipeline only change how the
-		// sweep runs, never what it outputs.
-		var res *linkclust.Result
+		// stream bitwise, so -workers, -engine, and -pipeline only change
+		// how the sweep runs, never what it outputs. -pipeline forces the
+		// pipelined engine (legacy behavior); otherwise -engine auto picks
+		// by the measured op-count threshold.
+		sel := *engine
 		switch {
 		case *pipeline:
+			sel = linkclust.EnginePipelined
+		case sel == linkclust.EngineAuto:
+			sel = core.ChooseSweepEngine(pl.NumIncidentPairs(), *workers, false)
+		}
+		rec.SetMeta("sweep_engine", sel)
+		var res *linkclust.Result
+		switch sel {
+		case linkclust.EnginePipelined:
 			res, err = core.SweepPipelinedCtx(ctx, g, pl, *workers, rec)
-		case *workers > 1:
+		case linkclust.EngineParallel:
 			res, err = core.SweepParallelCtx(ctx, g, pl, *workers, rec)
 		default:
 			res, err = core.SweepCtx(ctx, g, pl, rec)
@@ -528,11 +555,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		if err != nil {
 			return err
 		}
-		mode := ""
-		if *pipeline {
-			mode = ", pipelined"
-		}
-		fmt.Fprintf(stdout, "algorithm      sweep (workers=%d%s)\n", *workers, mode)
+		fmt.Fprintf(stdout, "algorithm      sweep (workers=%d, engine=%s)\n", *workers, sel)
 		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
 		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
 		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))

@@ -1,6 +1,7 @@
 package linkclust
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -152,6 +153,58 @@ func TestGoldenCounters(t *testing.T) {
 		}
 		if a[n] != b[n] {
 			t.Errorf("counter %s: parallel %d vs pipelined %d", n, a[n], b[n])
+		}
+	}
+}
+
+// TestGoldenEngineAndRelabel extends the golden pin to the explicit engine
+// selector and the degree-ordered relabeled initialization: every
+// ClusterOptions.Engine value (auto included), with and without Relabel, at
+// several worker counts, must hash to the same golden value as the serial
+// pipeline — engine choice and vertex order affect speed only, never output.
+func TestGoldenEngineAndRelabel(t *testing.T) {
+	g := goldenGraph(t)
+	for _, engine := range []string{EngineAuto, EngineSerial, EngineParallel, EnginePipelined} {
+		for _, relabel := range []bool{false, true} {
+			for _, workers := range []int{1, 4, 8} {
+				res, err := ClusterCtx(context.Background(), g,
+					ClusterOptions{Workers: workers, Engine: engine, Relabel: relabel})
+				if err != nil {
+					t.Fatalf("engine=%s relabel=%v T=%d: %v", engine, relabel, workers, err)
+				}
+				if got := sha(canonMerges(res)); got != goldenClusterSHA {
+					t.Fatalf("engine=%s relabel=%v T=%d hash %s, golden %s",
+						engine, relabel, workers, got, goldenClusterSHA)
+				}
+			}
+		}
+	}
+	if _, err := ClusterCtx(context.Background(), g, ClusterOptions{Engine: "warp"}); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}
+
+// TestGoldenCountersRelabeled checks that a relabeled run reports the same
+// worker-invariant counter set as a plain run of the same engine: relabeling
+// changes the traversal order inside the init phase, not what it computes.
+func TestGoldenCountersRelabeled(t *testing.T) {
+	g := goldenGraph(t)
+	plain := NewRecorder()
+	if _, err := ClusterInstrumented(g, ClusterOptions{Workers: 4, Recorder: plain}); err != nil {
+		t.Fatal(err)
+	}
+	rel := NewRecorder()
+	if _, err := ClusterCtx(context.Background(), g,
+		ClusterOptions{Workers: 4, Engine: EngineParallel, Relabel: true, Recorder: rel}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.Report().Counters, rel.Report().Counters
+	for _, n := range goldenInvariantCounters {
+		if n == core.CtrPipelineBuckets {
+			continue
+		}
+		if a[n] != b[n] {
+			t.Errorf("counter %s: plain %d vs relabeled %d", n, a[n], b[n])
 		}
 	}
 }

@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"ablation", "extension: chain-vs-union-find and algorithm-family comparisons", Ablation},
 		{"corpus", "validation: synthetic corpus vs tweet-corpus statistics", CorpusExp},
 		{"service", "extension: linkclustd load test (cold vs cached over HTTP, concurrent clients)", Service},
+		{"kernels", "extension: relabeled similarity + CAS sweep bitwise-equivalence smoke", Kernels},
 	}
 }
 

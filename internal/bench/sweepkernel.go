@@ -31,6 +31,18 @@ type sweepKernelResult struct {
 	SerialNs  int64               `json:"serial_ns"`
 	Threads   []sweepKernelThread `json:"threads"`
 	SpeedupT8 float64             `json:"speedup_t8"`
+
+	// Engine is what ClusterOptions.Engine "auto" selects for this row at
+	// T=8 on the benchmarking machine (core.ChooseSweepEngine on K2 and the
+	// normalized worker count); AutoNs/AutoSpeedup are the corresponding
+	// measurement — the serial row's own time when the fallback engages (by
+	// definition: the fallback runs the identical code path), the T=8
+	// parallel time otherwise. A row with SpeedupT8 < 1.0 and Engine
+	// "serial" is the regression auto selection fixes, not a regression of
+	// the auto policy.
+	Engine      string  `json:"engine"`
+	AutoNs      int64   `json:"auto_ns"`
+	AutoSpeedup float64 `json:"auto_speedup"`
 }
 
 // sweepKernelReport is the BENCH_sweep.json document.
@@ -58,13 +70,15 @@ func SweepKernel(w io.Writer, cfg Config) error {
 	for _, th := range sweepKernelThreads {
 		cols = append(cols, fmt.Sprintf("T=%d", th))
 	}
-	cols = append(cols, "speedup(T=8)")
+	cols = append(cols, "speedup(T=8)", "auto(T=8)")
 	t := &Table{
 		Title:   "sweepkernel: fine-grained sweep, serial vs parallel reservation engine",
 		Columns: cols,
 		Notes: []string{
 			"every parallel merge stream verified bitwise against serial before timing is accepted",
 			fmt.Sprintf("this machine exposes %d CPU core(s); parallel columns measure kernel cost, not scaling", runtime.NumCPU()),
+			"auto(T=8) reports the engine -engine auto selects on this machine and its speedup vs serial;",
+			"a serial fallback reuses the serial measurement by definition (identical code path), so its speedup is exactly 1.0",
 		},
 	}
 	report := &sweepKernelReport{
@@ -129,13 +143,25 @@ func SweepKernel(w io.Writer, cfg Config) error {
 			}
 			if th == 8 {
 				res.SpeedupT8 = tr.Speedup
+				res.AutoNs = parNs.Nanoseconds()
 			}
 			res.Threads = append(res.Threads, tr)
 			row = append(row, formatSeconds(parNs))
 		}
 		end()
+		// What would "-engine auto" run here? Serial below the measured
+		// op-count threshold (or when this machine normalizes T=8 to one
+		// worker); the serial fallback is the very measurement above.
+		res.Engine = core.ChooseSweepEngine(res.IncidentPairs, 8, false)
+		if res.Engine == core.SweepEngineSerial {
+			res.AutoNs = serialNs.Nanoseconds()
+		}
+		if res.AutoNs > 0 {
+			res.AutoSpeedup = float64(serialNs) / float64(res.AutoNs)
+		}
 		report.Results = append(report.Results, res)
-		row = append(row, formatFloat(res.SpeedupT8)+"x")
+		row = append(row, formatFloat(res.SpeedupT8)+"x",
+			fmt.Sprintf("%s %sx", res.Engine, formatFloat(res.AutoSpeedup)))
 		t.AddRow(row...)
 	}
 	t.Fprint(w)

@@ -374,6 +374,7 @@ func recordSweepEngine(rec *obs.Recorder, e *sweepEngine) {
 	rec.Add(CtrSweepNoopDrops, e.drops)
 	rec.Add(CtrSweepSerialDrains, e.drains)
 	rec.Add(CtrSweepFlattens, e.flattens)
+	rec.Add(CtrSweepCASRounds, e.casRounds)
 }
 
 // ClusterPipelined is the fully pipelined fine-grained pipeline: the

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
+)
+
+// Degree-ordered relabeled similarity: Algorithm 1 executed over a copy of
+// the graph whose vertices are renamed by descending degree
+// (graph.DegreeOrder), with every output mapped back to original ids before
+// it is returned — callers cannot tell the relabeled kernel ran except
+// through the cache behavior.
+//
+// Why it helps: the wedge kernel's scratch (dot/cnt/pos/wTo) is indexed by
+// candidate vertex id. Real graphs put hub vertices anywhere in the id
+// space, so a hot row strides over a working set proportional to the raw id
+// SPREAD of its candidates. After degree relabeling the high-degree vertices
+// — which appear as candidates in most rows, precisely because they have
+// the most edges — share the low end of the id space, so the busiest
+// scratch lines are the same few cache lines in every row and the packed
+// sweep adjacency clusters hub entries together.
+//
+// Why outputs are bitwise unchanged: floating-point addition is commutative
+// but not associative, so the ONLY ordering the emitted bits depend on is
+// the per-pair accumulation order, which the plain kernel fixes at
+// "ascending original common-neighbor id, diagonal last". The relabeled
+// kernel enumerates wedges in relabeled order but logs each wedge's product
+// (one multiply of the same two weights — bitwise equal wherever it is
+// computed) instead of accumulating immediately; at emit time each pair's
+// products are sorted by ORIGINAL common-neighbor id and re-summed
+// left-to-right, reproducing the plain kernel's exact add sequence. The
+// diagonal term and the Tanimoto denominator only combine the two
+// endpoints' norms with single commutative adds, so evaluating them with
+// endpoints in original order is bit-identical. Norms (h1/h2) are computed
+// on the ORIGINAL adjacency, whose neighbor order the per-vertex sums
+// depend on. Finally the pair list is sorted by original (U, V) — the plain
+// kernel's natural emission order — so even the unsorted master order is
+// identical, and everything downstream (sweep windows, merge stream, golden
+// hashes, caches keyed on pair lists) is unchanged. Edge ids survive
+// graph.Relabel exactly, so dendrograms and chain arrays need no mapping at
+// all.
+
+// SimilarityRelabeled runs Algorithm 1 through the degree-relabeled kernel.
+// The result is bitwise identical to Similarity / SimilarityWedge for any
+// worker count, in the same master order.
+func SimilarityRelabeled(g *graph.Graph, workers int) *PairList {
+	pl, _ := SimilarityRelabeledCtx(context.Background(), g, workers, nil)
+	return pl
+}
+
+// SimilarityRelabeledCtx is the cancellable, panic-isolated entry point of
+// the relabeled kernel, mirroring SimilarityCtx.
+func SimilarityRelabeledCtx(ctx context.Context, g *graph.Graph, workers int, rec *obs.Recorder) (pl *PairList, err error) {
+	defer par.RecoverPanicError(&err)
+	workers = par.Normalize(workers)
+
+	endRelabel := rec.Phase("relabel")
+	perm := graph.DegreeOrder(g)
+	inv := graph.InversePermutation(perm)
+	rg := graph.Relabel(g, perm)
+	endRelabel()
+
+	if workers < 2 {
+		return similarityRelabeledSerialCtx(ctx, g, rg, inv, rec)
+	}
+	return similarityRelabeledParallelCtx(ctx, g, rg, inv, workers, rec)
+}
+
+// cmpPairsLex is the plain kernel's master emission order: (U, V)
+// lexicographic on original ids. Pair keys are unique, so the order is
+// total and the sort deterministic.
+func cmpPairsLex(a, b Pair) int {
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.V) - int(b.V)
+}
+
+// distinctURows counts the distinct U values of a (U, V)-lex sorted pair
+// list — the value CtrSimilarityWedgeRows must report: the number of
+// ORIGINAL rows with at least one pair, which the relabeled enumeration
+// cannot count directly because its row owner is the smaller RELABELED id.
+func distinctURows(pairs []Pair) int64 {
+	var rows int64
+	for i := range pairs {
+		if i == 0 || pairs[i].U != pairs[i-1].U {
+			rows++
+		}
+	}
+	return rows
+}
+
+func similarityRelabeledSerialCtx(ctx context.Context, g, rg *graph.Graph, inv []int32, rec *obs.Recorder) (*PairList, error) {
+	end := rec.Phase("similarity")
+	defer end()
+	n := g.NumVertices()
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+	endPass := rec.Phase("pass1-norms")
+	vertexNorms(g, h1, h2, 0, n)
+	endPass()
+
+	endPass = rec.Phase("pass2-wedge-rows")
+	ra := newRowAccum(n)
+	chunk := 4 * g.NumEdges()
+	if chunk < 1024 {
+		chunk = 1024
+	}
+	arena := &arenaChunks{chunkSize: chunk}
+	pairs := make([]Pair, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		if u%wedgeRowBlock == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		w := ra.enumerateRowLogged(rg, u)
+		if w > 0 {
+			commons := arena.alloc(w)
+			base := len(pairs)
+			need := len(ra.touched)
+			pairs = slices.Grow(pairs, need)[:base+need]
+			ra.emitRowRelabeled(u, inv, h1, h2, pairs[base:], commons)
+		}
+		ra.resetMarks(rg, u)
+	}
+	endPass()
+
+	endPass = rec.Phase("pass3-unrelabel-sort")
+	slices.SortFunc(pairs, cmpPairsLex)
+	endPass()
+
+	pl := &PairList{Pairs: pairs}
+	recordPairListStats(rec, pl)
+	rec.Add(CtrSimilarityWedgeRows, distinctURows(pairs))
+	return pl, nil
+}
+
+func similarityRelabeledParallelCtx(ctx context.Context, g, rg *graph.Graph, inv []int32, workers int, rec *obs.Recorder) (*PairList, error) {
+	end := rec.Phase("similarity")
+	defer end()
+	n := g.NumVertices()
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+
+	endPass := rec.Phase("pass1-norms")
+	par.Do(n, workers, func(_, lo, hi int) {
+		vertexNorms(g, h1, h2, lo, hi)
+	})
+	endPass()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	accs := make([]*rowAccum, workers)
+	for t := range accs {
+		accs[t] = newRowAccum(n)
+	}
+
+	// Pass 2 (count) runs on the RELABELED rows: per-row slot sizes are a
+	// worker-independent function of rg, so the CSR layout is deterministic.
+	endPass = rec.Phase("pass2-wedge-count")
+	rowPairs := make([]int32, n)
+	rowWedges := make([]int64, n)
+	var cursor atomic.Int64
+	par.Run(workers, func(t int, aborted func() bool) {
+		ra := accs[t]
+		for {
+			if aborted() || ctx.Err() != nil {
+				return
+			}
+			lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
+			if lo >= n {
+				return
+			}
+			hi := lo + wedgeRowBlock
+			if hi > n {
+				hi = n
+			}
+			for u := lo; u < hi; u++ {
+				rowPairs[u], rowWedges[u] = ra.countRow(rg, u)
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		endPass()
+		return nil, err
+	}
+
+	pairOff := make([]int64, n+1)
+	wedgeOff := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		pairOff[u+1] = pairOff[u] + int64(rowPairs[u])
+		wedgeOff[u+1] = wedgeOff[u] + rowWedges[u]
+	}
+	endPass()
+
+	endPass = rec.Phase("pass3-wedge-fill")
+	pairs := make([]Pair, pairOff[n])
+	arena := make([]int32, wedgeOff[n])
+	cursor.Store(0)
+	par.Run(workers, func(t int, aborted func() bool) {
+		ra := accs[t]
+		for {
+			if aborted() || ctx.Err() != nil {
+				return
+			}
+			lo := int(cursor.Add(wedgeRowBlock)) - wedgeRowBlock
+			if lo >= n {
+				return
+			}
+			hi := lo + wedgeRowBlock
+			if hi > n {
+				hi = n
+			}
+			for u := lo; u < hi; u++ {
+				w := ra.enumerateRowLogged(rg, u)
+				if int64(w) != rowWedges[u] || len(ra.touched) != int(rowPairs[u]) {
+					panic(fmt.Sprintf("core: relabeled fill pass disagrees with count pass at row %d (%d/%d wedges, %d/%d pairs)",
+						u, w, rowWedges[u], len(ra.touched), rowPairs[u]))
+				}
+				if w > 0 {
+					ra.emitRowRelabeled(u, inv, h1, h2, pairs[pairOff[u]:pairOff[u+1]], arena[wedgeOff[u]:wedgeOff[u+1]])
+				}
+				ra.resetMarks(rg, u)
+			}
+		}
+	})
+	endPass()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	endPass = rec.Phase("pass3-unrelabel-sort")
+	if err := par.SortFuncCtx(ctx, pairs, workers, cmpPairsLex); err != nil {
+		endPass()
+		return nil, err
+	}
+	endPass()
+
+	pl := &PairList{Pairs: pairs}
+	recordPairListStats(rec, pl)
+	rec.Add(CtrSimilarityWedgeRows, distinctURows(pairs))
+	return pl, nil
+}
+
+// enumerateRowLogged is enumerateRow for the relabeled kernel: instead of
+// accumulating dot products immediately (whose add order would follow the
+// RELABELED common-neighbor order and change the bits), it logs each
+// wedge's product into ps, parallel to ks/vs, for the emit pass to re-sum
+// in original order. dot is never touched.
+func (ra *rowAccum) enumerateRowLogged(g *graph.Graph, u int) int {
+	ra.touched = ra.touched[:0]
+	ra.ks = ra.ks[:0]
+	ra.vs = ra.vs[:0]
+	ra.ps = ra.ps[:0]
+	uu := int32(u)
+	for _, hk := range g.Neighbors(u) {
+		k, wk := hk.To, hk.Weight
+		ra.wTo[k] = wk
+		nb := g.Neighbors(int(k))
+		for _, hv := range nb[firstAfter(nb, uu):] {
+			v := hv.To
+			if ra.cnt[v] == 0 {
+				ra.touched = append(ra.touched, v)
+			}
+			ra.cnt[v]++
+			// The product is a single multiply of the same two weights the
+			// plain kernel multiplies — bitwise equal, whenever computed.
+			prod := wk * hv.Weight
+			ra.ks = append(ra.ks, k)
+			ra.vs = append(ra.vs, v)
+			ra.ps = append(ra.ps, prod)
+		}
+	}
+	return len(ra.ks)
+}
+
+// emitRowRelabeled finishes relabeled row u: it scatters each pair's
+// (original common-neighbor id, product) entries into its commons region,
+// sorts every region by original id, re-sums the products left-to-right in
+// that order (the plain kernel's exact add sequence), applies the diagonal
+// term with original-id norms, and writes pairs under canonical original
+// (U, V). Common lists come out ascending in original ids, aliasing
+// commons. The scratch is reset as emitRow does.
+func (ra *rowAccum) emitRowRelabeled(u int, inv []int32, h1, h2 []float64, pairs []Pair, commons []int32) {
+	slices.Sort(ra.touched)
+	var off int64
+	for _, v := range ra.touched {
+		ra.pos[v] = off
+		off += int64(ra.cnt[v])
+	}
+	if cap(ra.pr) < len(ra.ks) {
+		ra.pr = make([]float64, len(ra.ks))
+	}
+	pr := ra.pr[:len(ra.ks)]
+	for i, v := range ra.vs {
+		p := ra.pos[v]
+		commons[p] = inv[ra.ks[i]]
+		pr[p] = ra.ps[i]
+		ra.pos[v]++
+	}
+	oU := inv[int32(u)]
+	var start int64
+	for i, v := range ra.touched {
+		cn := int64(ra.cnt[v])
+		end := start + cn
+		ck := commons[start:end]
+		cp := pr[start:end]
+		ra.sortRegionByK(ck, cp)
+		var d float64
+		for _, p := range cp {
+			d += p
+		}
+		a, b := oU, inv[v]
+		if a > b {
+			a, b = b, a
+		}
+		if w := ra.wTo[v]; w != 0 {
+			// Separate statement: see the FMA note in enumerateRow. h1[a] +
+			// h1[b] is a single commutative add — endpoint order is free.
+			diag := (h1[a] + h1[b]) * w
+			d += diag
+		}
+		pairs[i] = Pair{
+			U:      a,
+			V:      b,
+			Sim:    d / (h2[a] + h2[b] - d),
+			Common: ck[:cn:cn],
+		}
+		start = end
+		ra.cnt[v] = 0
+	}
+}
+
+// sortRegionByK sorts the parallel (common-id, product) region ascending by
+// id. Ids within a region are distinct (one wedge per center per pair), so
+// the order is total. Small regions — the overwhelming majority — use an
+// insertion sort; large ones sort an index permutation to keep the move
+// count linear.
+func (ra *rowAccum) sortRegionByK(ks []int32, ps []float64) {
+	n := len(ks)
+	if n < 2 {
+		return
+	}
+	if n <= 24 {
+		for i := 1; i < n; i++ {
+			k, p := ks[i], ps[i]
+			j := i - 1
+			for j >= 0 && ks[j] > k {
+				ks[j+1], ps[j+1] = ks[j], ps[j]
+				j--
+			}
+			ks[j+1], ps[j+1] = k, p
+		}
+		return
+	}
+	idx := ra.idx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, int32(i))
+	}
+	slices.SortFunc(idx, func(a, b int32) int { return int(ks[a]) - int(ks[b]) })
+	kt := append(ra.kTmp[:0], ks...)
+	pt := append(ra.pTmp[:0], ps...)
+	for i, ix := range idx {
+		ks[i], ps[i] = kt[ix], pt[ix]
+	}
+	ra.idx, ra.kTmp, ra.pTmp = idx, kt, pt
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// requireIdenticalPreSort asserts two pair lists are element-wise identical
+// in their natural (pre-Sort) order — the relabeled kernel's contract is the
+// plain wedge kernel's exact master order, not just set equality.
+func requireIdenticalPreSort(t *testing.T, label string, got, want *PairList) {
+	t.Helper()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range want.Pairs {
+		g, w := &got.Pairs[i], &want.Pairs[i]
+		if g.U != w.U || g.V != w.V {
+			t.Fatalf("%s pair %d: (%d,%d), want (%d,%d)", label, i, g.U, g.V, w.U, w.V)
+		}
+		if g.Sim != w.Sim {
+			t.Fatalf("%s pair (%d,%d): sim %v, want bitwise-equal %v", label, g.U, g.V, g.Sim, w.Sim)
+		}
+		if len(g.Common) != len(w.Common) {
+			t.Fatalf("%s pair (%d,%d): commons %v, want %v", label, g.U, g.V, g.Common, w.Common)
+		}
+		for j := range w.Common {
+			if g.Common[j] != w.Common[j] {
+				t.Fatalf("%s pair (%d,%d): commons %v, want %v", label, g.U, g.V, g.Common, w.Common)
+			}
+		}
+	}
+}
+
+// TestSimilarityRelabeledDifferential is the differential test of the
+// degree-ordered kernel: on every graph family and worker counts 1..8 it must
+// reproduce the plain wedge kernel's pair list bitwise — same master (U,V)
+// order in original ids, bitwise-equal similarities, identical
+// common-neighbor lists.
+func TestSimilarityRelabeledDifferential(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			plain := Similarity(g)
+			for workers := 1; workers <= 8; workers++ {
+				rel := SimilarityRelabeled(g, workers)
+				requireIdenticalPreSort(t, fmt.Sprintf("relabeled T=%d", workers), rel, plain)
+				if got, want := rel.NumIncidentPairs(), plain.NumIncidentPairs(); got != want {
+					t.Fatalf("T=%d: %d incident pairs, want %d", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepOnRelabeledSimilarity is the dendrogram round trip: a sweep over
+// the relabeled kernel's pair list must equal a sweep over the plain kernel's
+// bitwise — merge events carry edge/cluster ids, so this pins that relabeling
+// leaves every dendrogram id untouched, with no translation layer.
+func TestSweepOnRelabeledSimilarity(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := Sweep(g, Similarity(g))
+			if err != nil {
+				t.Fatalf("plain: %v", err)
+			}
+			got, err := Sweep(g, SimilarityRelabeled(g, 4))
+			if err != nil {
+				t.Fatalf("relabeled: %v", err)
+			}
+			requireIdenticalSweep(t, "sweep over relabeled pairs", got, want)
+		})
+	}
+}

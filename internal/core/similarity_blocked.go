@@ -1,0 +1,136 @@
+package core
+
+import "linkclust/internal/graph"
+
+// Cache-blocked variant of the wedge-major row kernel.
+//
+// enumerateRow walks each neighbor k's full suffix before moving to the next
+// k, so a hub row whose candidates span a wide id range strides across the
+// dense scratch arrays (dot/cnt ~12 bytes per candidate) once per neighbor —
+// on large graphs that is deg(u) passes over a working set far beyond L2,
+// and every pass misses. The blocked kernel tiles the CANDIDATE space
+// instead: per-neighbor cursors advance in lockstep through blocks of
+// wedgeBlockV candidate ids, so all deg(u) suffix fragments that touch one
+// block are processed while that block's scratch lines are resident (the
+// BigClam row-cache fix mapped onto Gustavson row accumulation).
+//
+// Output is bitwise identical to enumerateRow for any block width: within a
+// block neighbors are visited in ascending k, and a candidate v lives in
+// exactly one block, so the per-(u,v) contribution order — the only order
+// float accumulation and the common-list scatter depend on — is still
+// ascending k. The touched list's first-touch order differs, but emitRow
+// sorts it before any output is produced. The blocked/straight choice is a
+// pure function of the row's structure (degree and candidate span), never of
+// workers, so it cannot perturb determinism even indirectly.
+var (
+	// wedgeBlockV is the tile width in candidate vertex ids. At 8192
+	// candidates the hot scratch per block (dot 8B + cnt 4B + pos 8B + wTo
+	// 8B) is ~224 KiB — sized for a conventional 256 KiB+ L2. A var, not a
+	// const, so tests can shrink it to force many blocks on small graphs.
+	wedgeBlockV = int32(8192)
+	// wedgeBlockedMinDeg is the row-degree floor for the blocked kernel:
+	// below it the cursor bookkeeping costs more than the strides it saves.
+	wedgeBlockedMinDeg = 8
+	// wedgeBlockedMinSpanBlocks is the candidate-span floor, in block
+	// widths: rows whose candidates already fit a couple of blocks are
+	// cache-resident under the straight kernel.
+	wedgeBlockedMinSpanBlocks = int32(2)
+)
+
+// enumerateRowDispatch routes row u to the blocked or the straight kernel on
+// a structural gate. Both produce bitwise-identical scratch state.
+func (ra *rowAccum) enumerateRowDispatch(g *graph.Graph, u int) int {
+	if len(g.Neighbors(u)) >= wedgeBlockedMinDeg {
+		return ra.enumerateRowBlocked(g, u)
+	}
+	return ra.enumerateRow(g, u)
+}
+
+// enumerateRowBlocked is enumerateRow with candidate-space tiling. It leaves
+// exactly the scratch state enumerateRow would (same dot/cnt values, same
+// per-v ascending-k wedge log, same wTo marks) and returns the same wedge
+// count; the caller follows with emitRow/resetMarks as usual.
+func (ra *rowAccum) enumerateRowBlocked(g *graph.Graph, u int) int {
+	ra.touched = ra.touched[:0]
+	ra.ks = ra.ks[:0]
+	ra.vs = ra.vs[:0]
+	uu := int32(u)
+	nbk := g.Neighbors(u)
+	ra.nbs = ra.nbs[:0]
+	ra.cur = ra.cur[:0]
+	minV, maxV := int32(-1), int32(-1)
+	for _, hk := range nbk {
+		ra.wTo[hk.To] = hk.Weight
+		nb := g.Neighbors(int(hk.To))
+		c := firstAfter(nb, uu)
+		ra.nbs = append(ra.nbs, nb)
+		ra.cur = append(ra.cur, int32(c))
+		if c < len(nb) {
+			if first := nb[c].To; minV == -1 || first < minV {
+				minV = first
+			}
+			if last := nb[len(nb)-1].To; last > maxV {
+				maxV = last
+			}
+		}
+	}
+	if minV == -1 {
+		return 0 // no candidates beyond u anywhere
+	}
+	if int64(maxV)-int64(minV) < int64(wedgeBlockedMinSpanBlocks)*int64(wedgeBlockV) {
+		// Narrow span: every candidate fits the resident tile already, so
+		// run the cursors straight through (identical to enumerateRow).
+		for i, hk := range nbk {
+			k, wk := hk.To, hk.Weight
+			nb := ra.nbs[i]
+			for c := int(ra.cur[i]); c < len(nb); c++ {
+				hv := nb[c]
+				v := hv.To
+				if ra.cnt[v] == 0 {
+					ra.touched = append(ra.touched, v)
+				}
+				ra.cnt[v]++
+				// Two statements — see the FMA note in enumerateRow.
+				prod := wk * hv.Weight
+				ra.dot[v] += prod
+				ra.ks = append(ra.ks, k)
+				ra.vs = append(ra.vs, v)
+			}
+		}
+		return len(ra.ks)
+	}
+	for {
+		// Process candidates [minV, minV+blockV) across all neighbors, then
+		// jump to the smallest remaining candidate — empty blocks are never
+		// visited, so sparse hub rows do not pay for their id-space holes.
+		hi := int64(minV) + int64(wedgeBlockV)
+		nextMin := int32(-1)
+		for i, hk := range nbk {
+			k, wk := hk.To, hk.Weight
+			nb := ra.nbs[i]
+			c := int(ra.cur[i])
+			for c < len(nb) && int64(nb[c].To) < hi {
+				hv := nb[c]
+				v := hv.To
+				if ra.cnt[v] == 0 {
+					ra.touched = append(ra.touched, v)
+				}
+				ra.cnt[v]++
+				// Two statements — see the FMA note in enumerateRow.
+				prod := wk * hv.Weight
+				ra.dot[v] += prod
+				ra.ks = append(ra.ks, k)
+				ra.vs = append(ra.vs, v)
+				c++
+			}
+			ra.cur[i] = int32(c)
+			if c < len(nb) && (nextMin == -1 || nb[c].To < nextMin) {
+				nextMin = nb[c].To
+			}
+		}
+		if nextMin == -1 {
+			return len(ra.ks)
+		}
+		minV = nextMin
+	}
+}

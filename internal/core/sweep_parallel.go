@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"linkclust/internal/fault"
 	"linkclust/internal/graph"
@@ -28,14 +29,23 @@ const (
 	CtrSweepSerialDrains = "sweep.serial_drains"
 	// CtrSweepFlattens counts periodic whole-chain flatten passes.
 	CtrSweepFlattens = "sweep.flattens"
+	// CtrSweepCASRounds counts rounds scheduled through the lock-free
+	// min-reservation path instead of the serial claim scan. Unlike the
+	// counters above it is telemetry, not an invariant: the CAS path engages
+	// only when the round is large enough AND more than one worker is
+	// available, so the value is worker-dependent — but which operations it
+	// selects, defers, or drops is not (see casRound).
+	CtrSweepCASRounds = "sweep.cas_rounds"
 )
 
 // Engine tuning. Every threshold is a function of operation counts only —
 // never of the worker count — so the engine's control flow (which operations
 // are selected, deferred, dropped, or drained in which round) is identical
 // for any number of workers. The merge stream's bitwise equality across
-// worker counts follows by construction: all scheduling decisions happen in
-// the serial claim scan.
+// worker counts follows by construction: a round's selection is a pure
+// function of the (c1, c2) pairs of its pending ops — computed either by the
+// serial claim scan or by the equivalent lock-free min-reservation pass (see
+// casRound), which produce the same selected/deferred/dropped partition.
 const (
 	// sweepWindowOps is the target operation count of one merge batch.
 	// Windows never split a vertex pair, so the last pair may overshoot.
@@ -163,10 +173,17 @@ type sweepEngine struct {
 	sel    []int32       // survivors selected by the current round's scan
 	offs   []int32       // per-pair op offsets within the window
 	wbuf   []survivorBuf // per-worker survivor staging buffers
+	rbuf   []roundBuf    // per-worker CAS-round staging buffers
 	parChg []int64       // per-worker change counts of the apply phase
 
-	claim []int64 // cluster id -> generation that last reserved it
-	gen   int64   // current reservation generation (bumped per round)
+	// resv is the per-cluster reservation table, shared by both round
+	// schedulers. The serial claim scan tags a cluster with the round base
+	// gen<<32; the CAS path tags it with base|opID, CASed downward so the
+	// table converges to the minimum pending op id touching each cluster.
+	// Tags from different rounds never collide: a later round's base exceeds
+	// every tag (base or base|op) of any earlier round.
+	resv []int64
+	gen  int64 // current reservation generation (bumped per round)
 
 	// Streaming window cursor: pairs [wp, wq) are accumulated into the
 	// window under construction, carrying wops incident operations. The
@@ -179,7 +196,7 @@ type sweepEngine struct {
 
 	opsSinceFlatten int64
 
-	windows, rounds, deferrals, drops, drains, flattens int64
+	windows, rounds, deferrals, drops, drains, flattens, casRounds int64
 
 	errMu sync.Mutex
 	errOp int
@@ -203,6 +220,15 @@ func (b *survivorBuf) reset() {
 	b.drops = 0
 }
 
+// roundBuf stages one worker's output of a CAS round: the deferred ops of
+// its contiguous pend range (concatenated in worker order to restore serial
+// pend order) and its counter contributions.
+type roundBuf struct {
+	next          []int32
+	chg           int64
+	drops, defers int64
+}
+
 func (e *sweepEngine) run() (*Result, error) {
 	e.init()
 	if err := e.consume(len(e.pl.Pairs), true); err != nil {
@@ -218,9 +244,10 @@ func (e *sweepEngine) init() {
 	m := e.g.NumEdges()
 	e.ch = NewChain(m)
 	e.res = &Result{Chain: e.ch}
-	e.claim = make([]int64, m)
+	e.resv = make([]int64, m)
 	e.parChg = make([]int64, e.workers)
 	e.wbuf = make([]survivorBuf, e.workers)
+	e.rbuf = make([]roundBuf, e.workers)
 	e.buildCSR()
 }
 
@@ -323,14 +350,26 @@ func (e *sweepEngine) window(p0, p1, w int) error {
 			e.drains++
 			break
 		}
-		// Round 1's find is fused into resolution (the chain is quiescent
-		// there and round 1's pre-round state is the pre-window state).
-		if !first {
-			e.find(pend)
+		// Large rounds with real parallelism available go through the
+		// lock-free min-reservation scheduler; small rounds (and 1-worker
+		// runs) keep the serial claim scan, whose barrier-free passes win
+		// below the fan-out floor. The two produce the same selection,
+		// deferral order, drop count, and rewrite count (see casRound), so
+		// the dispatch — though worker-dependent — cannot change the merge
+		// stream or any invariant counter.
+		if e.workers >= 2 && len(pend) >= sweepParMinOps {
+			e.casRound(pend, first)
+		} else {
+			// Round 1's find is fused into resolution (the chain is
+			// quiescent there and round 1's pre-round state is the
+			// pre-window state).
+			if !first {
+				e.find(pend)
+			}
+			sel := e.scan(pend)
+			e.apply(sel)
 		}
 		first = false
-		sel := e.scan(pend)
-		e.apply(sel)
 		pend, e.next = e.next, pend
 	}
 	e.pend = pend[:0]
@@ -382,36 +421,41 @@ func (e *sweepEngine) resolve(p0, p1, w int) int {
 	np := p1 - p0
 	used := 0
 	if w < sweepParMinOps || e.workers < 2 {
-		e.wbuf[0].reset()
-		e.resolveRange(p0, p0, p1, &e.wbuf[0])
-		used = 1
-	} else {
-		// Precompute the balanced pair ranges, then fan out through par.Run
-		// so a panic inside resolution is isolated like every other pool.
-		type resolveRange struct{ lo, hi int }
-		var ranges []resolveRange
-		prev := 0
-		for t := 0; t < e.workers && prev < np; t++ {
-			target := w * (t + 1) / e.workers
-			end := prev
-			for end < np && int(e.offs[end]) < target {
-				end++
-			}
-			if t == e.workers-1 {
-				end = np
-			}
-			if end == prev {
-				continue
-			}
-			e.wbuf[used].reset()
-			ranges = append(ranges, resolveRange{lo: p0 + prev, hi: p0 + end})
-			used++
-			prev = end
-		}
-		par.Run(len(ranges), func(t int, _ func() bool) {
-			e.resolveRange(p0, ranges[t].lo, ranges[t].hi, &e.wbuf[t])
-		})
+		// Single-worker resolution writes survivors straight into the shared
+		// arrays — the staging buffers exist only to keep concurrent workers
+		// apart, and skipping the concatenation copy is a measurable win on
+		// the windows-dominated serial path.
+		b := survivorBuf{idx: e.sIdx[:0], e1: e.e1[:0], e2: e.e2[:0], c1: e.c1[:0], c2: e.c2[:0]}
+		e.resolveRange(p0, p0, p1, &b)
+		e.drops += b.drops
+		e.sIdx, e.e1, e.e2, e.c1, e.c2 = b.idx, b.e1, b.e2, b.c1, b.c2
+		return len(e.sIdx)
 	}
+	// Precompute the balanced pair ranges, then fan out through par.Run
+	// so a panic inside resolution is isolated like every other pool.
+	type resolveRange struct{ lo, hi int }
+	var ranges []resolveRange
+	prev := 0
+	for t := 0; t < e.workers && prev < np; t++ {
+		target := w * (t + 1) / e.workers
+		end := prev
+		for end < np && int(e.offs[end]) < target {
+			end++
+		}
+		if t == e.workers-1 {
+			end = np
+		}
+		if end == prev {
+			continue
+		}
+		e.wbuf[used].reset()
+		ranges = append(ranges, resolveRange{lo: p0 + prev, hi: p0 + end})
+		used++
+		prev = end
+	}
+	par.Run(len(ranges), func(t int, _ func() bool) {
+		e.resolveRange(p0, ranges[t].lo, ranges[t].hi, &e.wbuf[t])
+	})
 	e.sIdx = e.sIdx[:0]
 	e.e1, e.e2 = e.e1[:0], e.e2[:0]
 	e.c1, e.c2 = e.c1[:0], e.c2[:0]
@@ -628,9 +672,9 @@ func (e *sweepEngine) find(pend []int32) {
 // flat by the periodic whole-chain flatten instead (see sweepFlattenOps).
 func (e *sweepEngine) scan(pend []int32) []int32 {
 	e.gen++
-	gen := e.gen
+	base := e.gen << 32
 	c := e.ch.c
-	claim := e.claim
+	resv := e.resv
 	sel := e.sel[:0]
 	nxt := e.next[:0]
 	var changes int64
@@ -642,13 +686,13 @@ func (e *sweepEngine) scan(pend []int32) []int32 {
 			e.drops++
 			continue
 		}
-		if claim[c1] == gen || claim[c2] == gen {
-			claim[c1], claim[c2] = gen, gen
+		if resv[c1] == base || resv[c2] == base {
+			resv[c1], resv[c2] = base, base
 			nxt = append(nxt, j)
 			e.deferrals++
 			continue
 		}
-		claim[c1], claim[c2] = gen, gen
+		resv[c1], resv[c2] = base, base
 		e.evA[j], e.evB[j] = c1, c2
 		sel = append(sel, j)
 	}
@@ -689,6 +733,163 @@ func (e *sweepEngine) apply(sel []int32) {
 	for t := range e.parChg {
 		e.ch.changes += e.parChg[t]
 		e.parChg[t] = 0
+	}
+}
+
+// casRound schedules one round through the lock-free min-reservation path
+// (gbbs unite_variants style) instead of the serial claim scan. Two barrier-
+// separated parallel passes over the pending ops replace the scan's single
+// serial walk:
+//
+// Pass A (find + reserve): every worker computes the pre-round cluster pair
+// (c1, c2) of each op in its contiguous pend range (fused with atomic path
+// compression to the op's own terminals — safe because no merges happen
+// before the barrier, so terminals are fixed points all pass long) and, for
+// live ops, CASes the op's id into resv[c1] and resv[c2], keeping the
+// MINIMUM id per cluster (reserveMin).
+//
+// Pass B (select + apply): op j wins iff resv[c1] == resv[c2] == base|j,
+// i.e. j is the minimum live op id touching both its clusters. Winners merge
+// in place (their cluster pairs are pairwise disjoint by construction — each
+// reserved cluster names exactly one minimum); losers go to the per-worker
+// deferral list, concatenated in worker order to restore serial pend order.
+//
+// Equivalence with the serial scan: the scan walks ops in ascending serial
+// index and selects an op iff neither cluster was reserved earlier in the
+// walk — which holds iff no SMALLER live op id touches either cluster, i.e.
+// iff the op is the minimum live id on both. That is exactly the CAS winner
+// condition, so selection, deferral order (pend order is preserved), drop
+// set, and therefore the merge stream are identical. The rewrite counter
+// also matches: per round, both schedulers rewrite exactly the chain entries
+// that do not yet point at their round-start terminal (each counted once —
+// compressPathAtomic credits only the successful CASer of a transition), and
+// winners' merge writes start from identically-compressed paths.
+func (e *sweepEngine) casRound(pend []int32, first bool) {
+	e.casRounds++
+	e.gen++
+	base := e.gen << 32
+	c := e.ch.c
+	resv := e.resv
+	used := e.workers
+	if used > len(pend) {
+		used = len(pend)
+	}
+	par.Do(len(pend), e.workers, func(t, lo, hi int) {
+		var chg int64
+		for x := lo; x < hi; x++ {
+			j := pend[x]
+			var c1, c2 int32
+			if first {
+				// Round 1's find was fused into resolution against the
+				// quiescent pre-window chain.
+				c1, c2 = e.c1[j], e.c2[j]
+			} else {
+				c1 = findAtomic(c, e.e1[j])
+				c2 = findAtomic(c, e.e2[j])
+				e.c1[j], e.c2[j] = c1, c2
+			}
+			chg += compressPathAtomic(c, e.e1[j], c1)
+			chg += compressPathAtomic(c, e.e2[j], c2)
+			if c1 != c2 {
+				tag := base | int64(uint32(j))
+				reserveMin(resv, c1, base, tag)
+				reserveMin(resv, c2, base, tag)
+			}
+		}
+		e.rbuf[t].chg = chg
+	})
+	// Barrier: par.Do joined, so every reservation and compression write
+	// happens-before every pass-B read; plain loads are race-free below.
+	par.Do(len(pend), e.workers, func(t, lo, hi int) {
+		b := &e.rbuf[t]
+		b.next = b.next[:0]
+		var chg, drops, defers int64
+		for x := lo; x < hi; x++ {
+			j := pend[x]
+			c1, c2 := e.c1[j], e.c2[j]
+			if c1 == c2 {
+				drops++
+				continue
+			}
+			tag := base | int64(uint32(j))
+			if resv[c1] == tag && resv[c2] == tag {
+				cmin := c1
+				if c2 < cmin {
+					cmin = c2
+				}
+				chg += compressPath(c, e.e1[j], cmin)
+				chg += compressPath(c, e.e2[j], cmin)
+				e.evA[j], e.evB[j] = c1, c2
+			} else {
+				b.next = append(b.next, j)
+				defers++
+			}
+		}
+		b.chg += chg
+		b.drops, b.defers = drops, defers
+	})
+	nxt := e.next[:0]
+	for t := 0; t < used; t++ {
+		b := &e.rbuf[t]
+		e.ch.changes += b.chg
+		e.drops += b.drops
+		e.deferrals += b.defers
+		nxt = append(nxt, b.next...)
+		b.chg, b.drops, b.defers = 0, 0, 0
+	}
+	e.next = nxt
+}
+
+// findAtomic walks the chain to its terminal through atomic loads. It is
+// safe concurrent with compressPathAtomic: compression only rewrites entries
+// to their (fixed) terminals, so every value read is a valid next hop and the
+// walk still converges — typically faster, because peers shortcut the path.
+func findAtomic(c []int32, i int32) int32 {
+	for {
+		v := atomic.LoadInt32(&c[i])
+		if v == i {
+			return i
+		}
+		i = v
+	}
+}
+
+// compressPathAtomic rewrites the chain from i toward root (i's terminal)
+// with CAS, returning the number of transitions it won. Concurrent
+// compressions of overlapping paths write the same values (a path has one
+// terminal), so a failed CAS means a peer already did this hop: the loop
+// re-reads and either stops (entry now points at root) or continues from the
+// still-valid next pointer. Each entry's single non-root -> root transition
+// is credited to exactly one worker, making the summed count equal the
+// serial scan's rewrite count for the same round.
+func compressPathAtomic(c []int32, i, root int32) int64 {
+	var n int64
+	for i != root {
+		v := atomic.LoadInt32(&c[i])
+		if v == root {
+			return n
+		}
+		if atomic.CompareAndSwapInt32(&c[i], v, root) {
+			n++
+			i = v
+		}
+	}
+	return n
+}
+
+// reserveMin CASes tag = base|opID into resv[cl], keeping the minimum: it
+// yields if the table already holds a tag from this round (cur >= base) that
+// is no larger than ours. Tags of earlier rounds (and the zero value) are
+// always below base, so they lose to any current-round tag.
+func reserveMin(resv []int64, cl int32, base, tag int64) {
+	for {
+		cur := atomic.LoadInt64(&resv[cl])
+		if cur >= base && cur <= tag {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&resv[cl], cur, tag) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+package graph
+
+import "slices"
+
+// DegreeOrder returns a vertex permutation that relabels vertices by
+// descending degree (incident-edge count), ties broken by ascending original
+// id: perm[old] = new. Hot (high-degree) rows land at the low end of the id
+// space, so the dense per-row scratch of the wedge kernel touches a compact,
+// cache-resident prefix on the rows that dominate the K2 wedge work, and the
+// packed adjacency of the sweep engine clusters hub lines together.
+//
+// The order is a pure function of the degree sequence — no randomness, no
+// worker dependence — so a relabeled run is as deterministic as the original.
+func DegreeOrder(g *Graph) []int32 {
+	n := g.NumVertices()
+	byDeg := make([]int32, n)
+	for v := range byDeg {
+		byDeg[v] = int32(v)
+	}
+	slices.SortFunc(byDeg, func(a, b int32) int {
+		if d := g.Degree(int(b)) - g.Degree(int(a)); d != 0 {
+			return d
+		}
+		return int(a) - int(b)
+	})
+	perm := make([]int32, n)
+	for newID, old := range byDeg {
+		perm[old] = int32(newID)
+	}
+	return perm
+}
+
+// InversePermutation returns inv with inv[perm[v]] = v. It panics if perm is
+// not a permutation of 0..len(perm)-1.
+func InversePermutation(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for old, newID := range perm {
+		if newID < 0 || int(newID) >= len(perm) || inv[newID] != -1 {
+			panic("graph: perm is not a permutation of vertex ids")
+		}
+		inv[newID] = int32(old)
+	}
+	return inv
+}
+
+// Relabel returns a copy of g with vertex v renamed to perm[v]. Edge ids are
+// preserved exactly — edge e of the result joins the renamed endpoints of
+// edge e of g with the same weight — so any structure indexed by edge id
+// (chain array C, merge streams, dendrograms) carries over between the two
+// graphs unchanged. Labels follow their vertices.
+//
+// Relabel panics if perm is not a permutation of 0..NumVertices()-1.
+func Relabel(g *Graph, perm []int32) *Graph {
+	n := g.NumVertices()
+	if len(perm) != n {
+		panic("graph: perm length does not match vertex count")
+	}
+	InversePermutation(perm) // validation only
+
+	out := &Graph{
+		adj:   make([][]Half, n),
+		edges: make([]Edge, g.NumEdges()),
+	}
+	for v := 0; v < n; v++ {
+		old := g.adj[v]
+		lst := make([]Half, len(old))
+		for i, h := range old {
+			lst[i] = Half{To: perm[h.To], Weight: h.Weight, Edge: h.Edge}
+		}
+		slices.SortFunc(lst, func(x, y Half) int { return int(x.To) - int(y.To) })
+		out.adj[perm[v]] = lst
+	}
+	for e, ed := range g.edges {
+		u, v := perm[ed.U], perm[ed.V]
+		if u > v {
+			u, v = v, u
+		}
+		out.edges[e] = Edge{U: u, V: v, Weight: ed.Weight}
+	}
+	if g.labels != nil {
+		out.labels = make([]string, n)
+		for v, l := range g.labels {
+			out.labels[perm[v]] = l
+		}
+	}
+	return out
+}

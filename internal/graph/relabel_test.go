@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"linkclust/internal/rng"
+)
+
+// relabelTestGraphs is the family set for the relabeling properties: the
+// paper's example, structured graphs, random graphs at two densities, and
+// degenerate shapes.
+func relabelTestGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := map[string]*Graph{
+		"paper-example": PaperExample(),
+		"complete-12":   Complete(12),
+		"disjoint":      DisjointEdges(5),
+		"empty":         NewBuilder(0).Build(nil),
+		"edgeless":      NewBuilder(6).Build(nil),
+	}
+	if g, err := Circulant(40, 4); err == nil {
+		out["circulant-40"] = g
+	} else {
+		t.Fatalf("circulant: %v", err)
+	}
+	for _, seed := range []uint64{2, 9} {
+		out[fmt.Sprintf("erdos-renyi-%d", seed)] = ErdosRenyi(90, 0.08, rng.New(seed))
+	}
+	return out
+}
+
+// TestDegreeOrderIsSortedPermutation checks the two defining properties of
+// DegreeOrder: it is a permutation of the vertex ids, and walking the new ids
+// in order visits vertices by descending degree with ties broken by ascending
+// original id.
+func TestDegreeOrderIsSortedPermutation(t *testing.T) {
+	for name, g := range relabelTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			perm := DegreeOrder(g)
+			if len(perm) != g.NumVertices() {
+				t.Fatalf("perm length %d, want %d", len(perm), g.NumVertices())
+			}
+			inv := InversePermutation(perm) // panics if not a permutation
+			for newID := 1; newID < len(inv); newID++ {
+				prev, cur := int(inv[newID-1]), int(inv[newID])
+				dp, dc := g.Degree(prev), g.Degree(cur)
+				if dp < dc || (dp == dc && prev >= cur) {
+					t.Fatalf("order violated at new id %d: vertex %d (deg %d) before vertex %d (deg %d)",
+						newID, prev, dp, cur, dc)
+				}
+			}
+		})
+	}
+}
+
+// TestInversePermutationRejectsNonPermutations pins the validation: duplicate
+// and out-of-range images must panic rather than produce a silent bad
+// relabeling.
+func TestInversePermutationRejectsNonPermutations(t *testing.T) {
+	for name, perm := range map[string][]int32{
+		"duplicate":    {0, 1, 1},
+		"out-of-range": {0, 3, 1},
+		"negative":     {0, -1, 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("InversePermutation accepted %v", perm)
+				}
+			}()
+			InversePermutation(perm)
+		})
+	}
+}
+
+// requireSameGraph asserts two graphs are structurally identical: same
+// adjacency (neighbor ids, weights, and edge ids, in order), same edge table,
+// and same labels.
+func requireSameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape (%d vertices, %d edges), want (%d, %d)",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("vertex %d: %d neighbors, want %d", v, len(gn), len(wn))
+		}
+		for i := range wn {
+			if gn[i] != wn[i] {
+				t.Fatalf("vertex %d neighbor %d: %+v, want %+v", v, i, gn[i], wn[i])
+			}
+		}
+	}
+	for e := 0; e < want.NumEdges(); e++ {
+		if got.Edge(e) != want.Edge(e) {
+			t.Fatalf("edge %d: %+v, want %+v", e, got.Edge(e), want.Edge(e))
+		}
+	}
+	if got.Labeled() != want.Labeled() {
+		t.Fatalf("labeled %v, want %v", got.Labeled(), want.Labeled())
+	}
+	for v := 0; v < want.NumVertices() && want.Labeled(); v++ {
+		if got.Label(v) != want.Label(v) {
+			t.Fatalf("vertex %d label %q, want %q", v, got.Label(v), want.Label(v))
+		}
+	}
+}
+
+// TestRelabelRoundTrip is the round-trip property: relabeling by the degree
+// order and then by its inverse reproduces the original graph exactly —
+// adjacency, edge table (ids included), and labels.
+func TestRelabelRoundTrip(t *testing.T) {
+	for name, g := range relabelTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			perm := DegreeOrder(g)
+			back := Relabel(Relabel(g, perm), InversePermutation(perm))
+			requireSameGraph(t, back, g)
+		})
+	}
+}
+
+// TestRelabelPreservesEdgeIDs pins the property the clustering pipeline
+// depends on: edge e of the relabeled graph joins the renamed endpoints of
+// edge e of the original with the same weight, so dendrograms (indexed by
+// edge id) carry over between the graphs without translation.
+func TestRelabelPreservesEdgeIDs(t *testing.T) {
+	for name, g := range relabelTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			perm := DegreeOrder(g)
+			rg := Relabel(g, perm)
+			for e := 0; e < g.NumEdges(); e++ {
+				orig, rel := g.Edge(e), rg.Edge(e)
+				u, v := perm[orig.U], perm[orig.V]
+				if u > v {
+					u, v = v, u
+				}
+				if rel.U != u || rel.V != v || rel.Weight != orig.Weight {
+					t.Fatalf("edge %d: %+v, want (%d,%d,%v) from original %+v", e, rel, u, v, orig.Weight, orig)
+				}
+			}
+		})
+	}
+}
+
+// TestRelabelPermutesLabels checks that vertex labels follow their vertices
+// through a relabeling.
+func TestRelabelPermutesLabels(t *testing.T) {
+	b := NewLabeledBuilder([]string{"a", "b", "c", "d"})
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build(nil)
+	perm := DegreeOrder(g)
+	rg := Relabel(g, perm)
+	for v := 0; v < g.NumVertices(); v++ {
+		if got := rg.Label(int(perm[v])); got != g.Label(v) {
+			t.Fatalf("vertex %d renamed %d: label %q, want %q", v, perm[v], got, g.Label(v))
+		}
+	}
+}

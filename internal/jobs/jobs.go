@@ -47,6 +47,12 @@ type Options struct {
 	// Pipeline selects the sort-overlapped sweep when Workers > 1. Does not
 	// affect the output.
 	Pipeline bool `json:"pipeline,omitempty"`
+	// Engine selects the sweep engine for AlgoSweep jobs: "auto" (the
+	// default — serial below the measured op-count threshold, otherwise
+	// Workers/Pipeline decide), "serial", "parallel", or "pipelined". Does
+	// not affect the output, so it is excluded from result cache keys like
+	// Workers and Pipeline.
+	Engine string `json:"engine,omitempty"`
 	// TimeoutMS bounds the job's run time; 0 inherits the manager default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// MemBudgetBytes is the per-job soft live-heap growth budget; on breach
@@ -63,6 +69,15 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Algorithm != AlgoSweep && o.Algorithm != AlgoCoarse {
 		return o, fmt.Errorf("jobs: unknown algorithm %q (want %q or %q)", o.Algorithm, AlgoSweep, AlgoCoarse)
+	}
+	if o.Engine == "" {
+		o.Engine = linkclust.EngineAuto
+	}
+	switch o.Engine {
+	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined:
+	default:
+		return o, fmt.Errorf("jobs: unknown engine %q (want %q, %q, %q or %q)",
+			o.Engine, linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined)
 	}
 	if o.TimeoutMS < 0 {
 		return o, fmt.Errorf("jobs: negative timeout_ms %d", o.TimeoutMS)

@@ -448,10 +448,19 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 			sres *linkclust.Result
 			err  error
 		)
-		switch {
-		case j.Options.Pipeline:
+		// Engine choice cannot change the output (all engines are bitwise
+		// identical), so the daemon defaults to "auto": serial below the
+		// measured op-count threshold — where parallel scheduling only adds
+		// overhead — and the Workers/Pipeline-selected engine above it.
+		engine := j.Options.Engine
+		if engine == "" || engine == linkclust.EngineAuto {
+			engine = core.ChooseSweepEngine(pl.NumIncidentPairs(), j.Options.Workers, j.Options.Pipeline)
+		}
+		rec.SetMeta("sweep_engine", engine)
+		switch engine {
+		case linkclust.EnginePipelined:
 			sres, err = linkclust.SweepPipelinedCtx(ctx, g, pl, j.Options.Workers, rec)
-		case j.Options.Workers > 1:
+		case linkclust.EngineParallel:
 			sres, err = linkclust.SweepParallelCtx(ctx, g, pl, j.Options.Workers, rec)
 		default:
 			sres, err = linkclust.SweepCtx(ctx, g, pl, rec)
