@@ -53,6 +53,7 @@ import (
 	"linkclust/internal/onmi"
 	"linkclust/internal/par"
 	"linkclust/internal/planted"
+	"linkclust/internal/stream"
 )
 
 // Graph and corpus building blocks.
@@ -438,6 +439,40 @@ func resolveSweepEngine(opts ClusterOptions, pl *PairList) (string, error) {
 			opts.Engine, EngineAuto, EngineSerial, EngineParallel, EnginePipelined)
 	}
 }
+
+// Incremental streaming clustering. A Stream ingests edge arrivals and keeps
+// the clustering current: only the similarity rows an arrival can affect are
+// recomputed, and each snapshot replays the sweep from the deepest still-valid
+// checkpoint (or falls back to the batch pipeline when the compaction trigger
+// fires). Snapshots are bitwise identical to a batch Cluster run on the
+// accumulated graph — see internal/stream and DESIGN.md §9.
+type (
+	// Stream is the incremental clustering engine. All methods are safe for
+	// concurrent use; a Snapshot observes all or none of a concurrent ingest.
+	Stream = stream.Engine
+	// StreamOptions configures a Stream (workers, vertex bound, compaction
+	// triggers, checkpoint spacing, recorder). The zero value is usable.
+	StreamOptions = stream.Options
+	// Arrival is one streamed edge: endpoints and weight, validated exactly
+	// like GraphBuilder.AddEdge; a repeated pair overwrites the weight.
+	Arrival = stream.Arrival
+)
+
+// Stream counter names recorded on StreamOptions.Recorder. All are pure
+// functions of the arrival sequence and batching — never of the worker count —
+// so they join the golden worker-invariant set.
+const (
+	CtrStreamAffectedRows = stream.CtrAffectedRows
+	CtrStreamReplayedOps  = stream.CtrReplayedOps
+	CtrStreamCompactions  = stream.CtrCompactions
+	CtrStreamBatches      = stream.CtrBatches
+)
+
+// NewStream returns an incremental clustering engine. Feed it with
+// Stream.Ingest / Stream.IngestBatch (or their Ctx variants, which cancel at
+// the established window points) and read the maintained clustering with
+// Stream.Snapshot.
+func NewStream(opt StreamOptions) (*Stream, error) { return stream.New(opt) }
 
 // CoarseClusterCtx is CoarseCluster with cooperative cancellation, panic
 // isolation, and optional instrumentation: the context is checked at every

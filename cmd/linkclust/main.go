@@ -12,6 +12,7 @@
 //	linkclust cluster -in graph.txt -pairs pairs.bin -algo sweep \
 //	    -communities 5 -save-merges merges.bin -newick d.nwk -dot g.dot
 //	linkclust cluster -in graph.txt -report run.json -pprof run  # observability
+//	linkclust cluster -in graph.txt -stream -stream-batch 256    # incremental replay
 //	linkclust analyze -in graph.txt -merges merges.bin
 package main
 
@@ -435,6 +436,8 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		pipeline = fs.Bool("pipeline", false, "sweep: overlap sorting with merging (output unchanged)")
 		engine   = fs.String("engine", "auto", "sweep engine: auto, serial, parallel, pipelined (output identical; auto falls back to serial below a measured op-count threshold)")
 		relabel  = fs.Bool("relabel", false, "run phase I over a degree-relabeled graph for cache locality (output unchanged)")
+		stream   = fs.Bool("stream", false, "sweep: replay the input edges through the incremental stream engine (output unchanged)")
+		streamB  = fs.Int("stream-batch", 256, "stream: arrivals per ingest batch")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 		gamma    = fs.Float64("gamma", 2, "coarse: max cluster-count ratio per level")
 		phi      = fs.Int("phi", 100, "coarse: stop below this many clusters")
@@ -463,6 +466,20 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 	if *pipeline && *engine != linkclust.EngineAuto && *engine != linkclust.EnginePipelined {
 		return fmt.Errorf("-pipeline conflicts with -engine %s", *engine)
 	}
+	if *stream {
+		if *algo != "sweep" {
+			return fmt.Errorf("-stream only applies to -algo sweep")
+		}
+		if *pairs != "" || *relabel || *pipeline {
+			return fmt.Errorf("-stream conflicts with -pairs, -relabel and -pipeline (the stream engine maintains phase I incrementally)")
+		}
+		if *engine != linkclust.EngineAuto {
+			return fmt.Errorf("-stream conflicts with -engine %s", *engine)
+		}
+		if *streamB < 1 {
+			return fmt.Errorf("-stream-batch must be at least 1")
+		}
+	}
 	ctx, cancel := withTimeout(ctx, *timeout)
 	defer cancel()
 	var rec *linkclust.Recorder
@@ -473,6 +490,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		rec.SetMeta("workers", strconv.Itoa(*workers))
 		rec.SetMeta("pipeline", strconv.FormatBool(*pipeline))
 		rec.SetMeta("relabel", strconv.FormatBool(*relabel))
+		rec.SetMeta("stream", strconv.FormatBool(*stream))
 	}
 	reportWritten := false
 	defer reportOnError(rec, *report, stdout, &err, &reportWritten)()
@@ -493,9 +511,13 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		return err
 	}
 
-	// Phase I: from cache when -pairs is given, otherwise computed here.
+	// Phase I: from cache when -pairs is given, otherwise computed here. The
+	// stream path skips it — the engine maintains phase I incrementally.
 	var pl *linkclust.PairList
-	if *pairs != "" {
+	switch {
+	case *stream:
+		// Nothing to do here: the engine recomputes affected rows per batch.
+	case *pairs != "":
 		pf, err := os.Open(*pairs)
 		if err != nil {
 			return err
@@ -507,13 +529,13 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		if err != nil {
 			return err
 		}
-	} else if *relabel {
+	case *relabel:
 		// Bitwise identical to the plain kernel — see SimilarityRelabeled.
 		pl, err = core.SimilarityRelabeledCtx(ctx, g, *workers, rec)
 		if err != nil {
 			return err
 		}
-	} else {
+	default:
 		pl, err = core.SimilarityCtx(ctx, g, *workers, rec)
 		if err != nil {
 			return err
@@ -528,8 +550,23 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		mergeStream []linkclust.Merge
 		d           *linkclust.Dendrogram
 	)
-	switch *algo {
-	case "sweep":
+	switch {
+	case *stream:
+		// Incremental replay: feed the edges through the stream engine in id
+		// order and snapshot at the end. By the engine's differential contract
+		// the result is bitwise what -algo sweep computes on the same graph.
+		res, err := replayStream(ctx, g, *workers, *streamB, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "algorithm      stream (workers=%d, batch=%d)\n", *workers, *streamB)
+		fmt.Fprintf(stdout, "edges          %d\n", g.NumEdges())
+		fmt.Fprintf(stdout, "levels         %d\n", res.Levels)
+		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))
+		fmt.Fprintf(stdout, "final clusters %d\n", res.NumClusters())
+		mergeStream = res.Merges
+		d = linkclust.NewDendrogram(res)
+	case *algo == "sweep":
 		// The parallel and pipelined engines reproduce the serial merge
 		// stream bitwise, so -workers, -engine, and -pipeline only change
 		// how the sweep runs, never what it outputs. -pipeline forces the
@@ -562,7 +599,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		fmt.Fprintf(stdout, "final clusters %d\n", res.NumClusters())
 		mergeStream = res.Merges
 		d = linkclust.NewDendrogram(res)
-	case "coarse":
+	case *algo == "coarse":
 		params := linkclust.CoarseParams{Gamma: *gamma, Phi: *phi, Delta0: *delta0, Eta0: *eta0, Workers: *workers}
 		res, err := coarse.SweepCtx(ctx, g, pl, params, rec)
 		if err != nil {
@@ -577,7 +614,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		fmt.Fprintf(stdout, "pairs processed %.1f%% of %d\n", 100*res.FractionProcessed(), res.TotalOps)
 		mergeStream = res.Merges
 		d = linkclust.NewCoarseDendrogram(res)
-	case "nbm":
+	case *algo == "nbm":
 		endStd := rec.Phase("standard-nbm")
 		es := baseline.NewEdgeSim(g, pl)
 		res, err := baseline.NBM(es)
@@ -590,7 +627,7 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		fmt.Fprintf(stdout, "merges         %d\n", len(res.Merges))
 		fmt.Fprintf(stdout, "matrix bytes   %d\n", res.MatrixBytes)
 		mergeStream = res.Merges
-	case "slink":
+	case *algo == "slink":
 		endStd := rec.Phase("standard-slink")
 		es := baseline.NewEdgeSim(g, pl)
 		res := baseline.SLINK(es)
@@ -686,6 +723,40 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 	}
 	reportWritten = true
 	return writeReport(rec, *report, stdout)
+}
+
+// replayStream feeds the graph's edges, in id order, through the incremental
+// stream engine in fixed-size batches and returns the final snapshot. Replay
+// in id order keeps the dynamic graph's edge ids equal to the input's, so the
+// result — bitwise identical to a batch sweep by the engine's differential
+// contract — drives the same downstream flags (-merges, -newick, -dot,
+// -communities) unchanged. Cancellation is honored at every ingest batch and
+// inside the snapshot's row/sweep windows.
+func replayStream(ctx context.Context, g *linkclust.Graph, workers, batch int, rec *linkclust.Recorder) (*linkclust.Result, error) {
+	eng, err := linkclust.NewStream(linkclust.StreamOptions{
+		Workers:     workers,
+		Recorder:    rec,
+		MaxVertices: g.NumVertices(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	arr := make([]linkclust.Arrival, 0, batch)
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		arr = arr[:0]
+		for _, e := range edges[lo:hi] {
+			arr = append(arr, linkclust.Arrival{U: int(e.U), V: int(e.V), W: e.Weight})
+		}
+		if err := eng.IngestBatchCtx(ctx, arr); err != nil {
+			return nil, err
+		}
+	}
+	return eng.SnapshotCtx(ctx)
 }
 
 func countLabels(labels []int32) int {

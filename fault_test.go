@@ -227,35 +227,140 @@ func TestFaultMemBreach(t *testing.T) {
 	}
 }
 
+// streamArrivals converts a graph's edges, in id order, into stream
+// arrivals — the replay that makes a stream engine's accumulated graph
+// bitwise identical to the original (the dynamic graph assigns the same
+// edge ids the Builder did).
+func streamArrivals(g *Graph) []Arrival {
+	edges := g.Edges()
+	arr := make([]Arrival, 0, len(edges))
+	for _, e := range edges {
+		arr = append(arr, Arrival{U: int(e.U), V: int(e.V), W: e.Weight})
+	}
+	return arr
+}
+
 // TestFaultMatrix is the CI smoke: every registered point armed once with a
-// benign (nil) action against the full pipelined pipeline — the pipeline
-// must either complete golden (a nil action changes nothing) and the hit
-// counter must show the point actually fired where the pipeline passes it.
+// benign action against the path that passes it — the run must complete
+// golden (a benign action changes nothing) and the hit counter must show the
+// point actually fired.
 func TestFaultMatrix(t *testing.T) {
 	g := goldenGraph(t)
 	// MemBreach fires only when a budget is set; CancelWindow/SlowProducer/
-	// WorkerPanic all fire on the pipelined parallel path.
+	// WorkerPanic all fire on the pipelined parallel path; the stream points
+	// fire on the incremental path (a whole-graph ingest hits the ingest
+	// point at the batch head, and the first snapshot — no checkpoints yet,
+	// so the replay fraction is 1 — takes the compaction fallback).
 	for _, p := range fault.Points() {
 		t.Run(p.String(), func(t *testing.T) {
 			resetFaults(t)
 			fired := false
 			fault.Arm(p, 1, func() { fired = true })
-			opts := ClusterOptions{Workers: 4, Pipeline: true}
-			if p == fault.MemBreach {
-				opts.MemBudgetBytes = 1 << 50
+			var res *Result
+			var err error
+			switch p {
+			case fault.StreamIngest, fault.StreamCompact:
+				var eng *Stream
+				eng, err = NewStream(StreamOptions{Workers: 4, MaxVertices: g.NumVertices()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err = eng.IngestBatch(streamArrivals(g)); err != nil {
+					t.Fatal(err)
+				}
+				res, err = eng.Snapshot()
+			default:
+				opts := ClusterOptions{Workers: 4, Pipeline: true}
+				if p == fault.MemBreach {
+					opts.MemBudgetBytes = 1 << 50
+				}
+				res, err = ClusterCtx(context.Background(), g, opts)
 			}
-			res, err := ClusterCtx(context.Background(), g, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !fired {
-				t.Fatalf("point %s never fired on the pipelined path", p)
+				t.Fatalf("point %s never fired on its pipeline", p)
 			}
-			if p != fault.MemBreach { // the nil-action scenarios stay golden
+			if p != fault.MemBreach { // the benign scenarios stay golden
 				if got := sha(canonMerges(res)); got != goldenClusterSHA {
 					t.Fatalf("hash %s with benign %s armed, golden %s", got, p, goldenClusterSHA)
 				}
 			}
 		})
 	}
+}
+
+// TestFaultStreamCancel arms the stream points with a context cancel. The
+// ingest point fires before any mutation, so a cancelled ingest must leave
+// the graph untouched; the compact point fires after the trigger decision
+// but before any batch work, so a cancelled snapshot must leave the engine
+// retryable. Either way, disarming and retrying produces the golden
+// clustering, and no goroutine outlives the cancelled call.
+func TestFaultStreamCancel(t *testing.T) {
+	g := goldenGraph(t)
+	arr := streamArrivals(g)
+
+	t.Run("ingest", func(t *testing.T) {
+		resetFaults(t)
+		base := runtime.NumGoroutine()
+		eng, err := NewStream(StreamOptions{Workers: 4, MaxVertices: g.NumVertices()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fault.Arm(fault.StreamIngest, 1, cancel)
+		if err := eng.IngestBatchCtx(ctx, arr); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if got := eng.Graph().NumEdges(); got != 0 {
+			t.Fatalf("cancelled ingest applied %d edges, want 0", got)
+		}
+		fault.Reset()
+		if err := eng.IngestBatch(arr); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sha(canonMerges(res)); got != goldenClusterSHA {
+			t.Fatalf("hash %s after retried ingest, golden %s", got, goldenClusterSHA)
+		}
+		waitGoroutinesBack(t, base)
+	})
+
+	t.Run("compact", func(t *testing.T) {
+		resetFaults(t)
+		base := runtime.NumGoroutine()
+		eng, err := NewStream(StreamOptions{
+			Workers:     4,
+			MaxVertices: g.NumVertices(),
+			// Any replay triggers compaction, so the armed point is reached
+			// on the very first snapshot.
+			CompactDirtyFraction: 1e-12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.IngestBatch(arr); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fault.Arm(fault.StreamCompact, 1, cancel)
+		if _, err := eng.SnapshotCtx(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		fault.Reset()
+		res, err := eng.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sha(canonMerges(res)); got != goldenClusterSHA {
+			t.Fatalf("hash %s after retried snapshot, golden %s", got, goldenClusterSHA)
+		}
+		waitGoroutinesBack(t, base)
+	})
 }

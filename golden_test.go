@@ -21,6 +21,11 @@ import (
 const (
 	goldenClusterSHA  = "acd8ee08ada0f030f60c9c94cac36a65c66d1d94744f3e18fadb6a8020d86e8c"
 	goldenCountersSHA = "427038e2c059a2de3862364b8c74ccbdf663850178c361d8c5fa315a1ba2b156"
+	// goldenStreamCountersSHA pins the stream.* counters of the canonical
+	// golden-graph replay (batches of 512, a snapshot every fourth batch):
+	// like the engine counters above they are pure functions of the arrival
+	// sequence and batching, never of the worker count.
+	goldenStreamCountersSHA = "2a2b8be5d1b7970b6bdfc8b81808e2e708efd9c794e812852ae03fe0053417ce"
 )
 
 // goldenGraph builds the fixed-seed word-association network the golden
@@ -181,6 +186,86 @@ func TestGoldenEngineAndRelabel(t *testing.T) {
 	}
 	if _, err := ClusterCtx(context.Background(), g, ClusterOptions{Engine: "warp"}); err == nil {
 		t.Fatal("unknown engine name accepted")
+	}
+}
+
+// replayGoldenStream feeds the golden graph's edges, in id order, into a
+// stream engine in batches of 512 with a snapshot every fourth batch — the
+// intermediate snapshots build checkpoints and exercise the replay (and,
+// at the default dirty fraction, the compaction) path mid-stream — and
+// returns the final snapshot.
+func replayGoldenStream(t *testing.T, eng *Stream, arr []Arrival) *Result {
+	t.Helper()
+	const batch = 512
+	step := 0
+	for lo := 0; lo < len(arr); lo += batch {
+		hi := min(lo+batch, len(arr))
+		if err := eng.IngestBatch(arr[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if step++; step%4 == 0 {
+			if _, err := eng.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenStreamReplay extends the golden pin to the incremental engine:
+// replaying the golden graph as an edge stream with interleaved snapshots
+// must land on the batch pipeline's exact merge stream at every worker
+// count — the differential contract against the checked-in hash rather
+// than an in-process oracle.
+func TestGoldenStreamReplay(t *testing.T) {
+	g := goldenGraph(t)
+	arr := streamArrivals(g)
+	for _, workers := range []int{1, 4, 8} {
+		eng, err := NewStream(StreamOptions{Workers: workers, MaxVertices: g.NumVertices()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := replayGoldenStream(t, eng, arr)
+		if got := sha(canonMerges(res)); got != goldenClusterSHA {
+			t.Fatalf("stream replay T=%d hash %s, golden %s", workers, got, goldenClusterSHA)
+		}
+	}
+}
+
+// canonStreamCounters serializes the stream.* counters in sorted name order.
+func canonStreamCounters(rep *RunReport) string {
+	names := []string{CtrStreamAffectedRows, CtrStreamReplayedOps, CtrStreamCompactions, CtrStreamBatches}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, rep.Counters[n])
+	}
+	return b.String()
+}
+
+// TestGoldenStreamCounters pins the stream.* counters of the canonical
+// replay: affected rows, replayed ops, compactions, and batches all derive
+// from the arrival sequence and op counts, so every worker count must
+// serialize to the same checked-in hash.
+func TestGoldenStreamCounters(t *testing.T) {
+	g := goldenGraph(t)
+	arr := streamArrivals(g)
+	for _, workers := range []int{1, 4, 8} {
+		rec := NewRecorder()
+		eng, err := NewStream(StreamOptions{Workers: workers, Recorder: rec, MaxVertices: g.NumVertices()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayGoldenStream(t, eng, arr)
+		canon := canonStreamCounters(rec.Report())
+		if got := sha(canon); got != goldenStreamCountersSHA {
+			t.Fatalf("T=%d stream counters hash %s, golden %s\ncounters:\n%s",
+				workers, got, goldenStreamCountersSHA, canon)
+		}
 	}
 }
 

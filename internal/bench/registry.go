@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"corpus", "validation: synthetic corpus vs tweet-corpus statistics", CorpusExp},
 		{"service", "extension: linkclustd load test (cold vs cached over HTTP, concurrent clients)", Service},
 		{"kernels", "extension: relabeled similarity + CAS sweep bitwise-equivalence smoke", Kernels},
+		{"stream", "extension: incremental ingest+snapshot vs batch from scratch (bitwise self-validating)", Stream},
 	}
 }
 

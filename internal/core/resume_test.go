@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+// requireIdenticalChainState extends requireIdenticalSweep to the raw chain
+// array and its rewrite counter — the resume contract is bitwise state
+// equality, not just equal output.
+func requireIdenticalChainState(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	requireIdenticalSweep(t, label, got, want)
+	gc, wc := got.Chain.c, want.Chain.c
+	if len(gc) != len(wc) {
+		t.Fatalf("%s: chain has %d entries, want %d", label, len(gc), len(wc))
+	}
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Fatalf("%s: chain[%d] = %d, want %d", label, i, gc[i], wc[i])
+		}
+	}
+	if got.Chain.Changes() != want.Chain.Changes() {
+		t.Fatalf("%s: %d chain rewrites, want %d", label, got.Chain.Changes(), want.Chain.Changes())
+	}
+}
+
+// TestSweepResumeFromEveryCheckpoint is the resume engine's differential
+// test: a checkpointing run must (a) itself match SweepParallel bitwise, and
+// (b) every checkpoint it emits, replayed on a fresh engine over the same
+// sorted list, must reproduce the same final state — merge stream, chain
+// array, rewrite counter — at several worker counts on both sides.
+func TestSweepResumeFromEveryCheckpoint(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.ErdosRenyi(300, 0.08, rng.New(seed))
+		want, err := SweepParallel(g, Similarity(g), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := Similarity(g)
+		var ckpts []SweepState
+		got, err := SweepResumeCtx(context.Background(), g, pl, nil, 4, 2048,
+			func(s SweepState) { ckpts = append(ckpts, s) }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdenticalChainState(t, fmt.Sprintf("seed=%d full", seed), got, want)
+		if len(ckpts) < 3 {
+			t.Fatalf("seed=%d: only %d checkpoints (need intermediate coverage)", seed, len(ckpts))
+		}
+		last := ckpts[len(ckpts)-1]
+		if last.Pos != len(pl.Pairs) {
+			t.Fatalf("seed=%d: final checkpoint at %d, want %d", seed, last.Pos, len(pl.Pairs))
+		}
+		for ci := range ckpts {
+			workers := 1 + ci%8
+			res, err := SweepResumeCtx(context.Background(), g, pl, &ckpts[ci], workers, 0, nil, nil)
+			if err != nil {
+				t.Fatalf("seed=%d ckpt=%d: %v", seed, ci, err)
+			}
+			requireIdenticalChainState(t,
+				fmt.Sprintf("seed=%d resume from pos %d T=%d", seed, ckpts[ci].Pos, workers), res, want)
+		}
+	}
+}
+
+// TestSweepResumeRejectsBadCheckpoints pins the validation errors.
+func TestSweepResumeRejectsBadCheckpoints(t *testing.T) {
+	g := graph.ErdosRenyi(40, 0.1, rng.New(7))
+	pl := Similarity(g)
+	pl.Sort()
+	bad := []SweepState{
+		{Pos: -1, Chain: make([]int32, g.NumEdges())},
+		{Pos: len(pl.Pairs) + 1, Chain: make([]int32, g.NumEdges())},
+		{Pos: 0, Chain: make([]int32, g.NumEdges()+3)},
+	}
+	for i := range bad {
+		if _, err := SweepResumeCtx(context.Background(), g, pl, &bad[i], 2, 0, nil, nil); err == nil {
+			t.Errorf("checkpoint %d accepted", i)
+		}
+	}
+}
+
+// TestRowKernelMatchesBatch checks that RowKernel.Row reproduces, row for
+// row, exactly the pairs the batch wedge kernel emits — same order, bitwise
+// similarities, identical Common lists — on every shared test family.
+func TestRowKernelMatchesBatch(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			batch := Similarity(g)
+			n := g.NumVertices()
+			h1 := make([]float64, n)
+			h2 := make([]float64, n)
+			VertexNorms(g, h1, h2, 0, n)
+			rk := NewRowKernel(n)
+			var rows []Pair
+			for u := 0; u < n; u++ {
+				rows = append(rows, rk.Row(g, u, h1, h2)...)
+			}
+			if len(rows) != len(batch.Pairs) {
+				t.Fatalf("%d pairs, batch has %d", len(rows), len(batch.Pairs))
+			}
+			for i, want := range batch.Pairs {
+				gotP := rows[i]
+				if gotP.U != want.U || gotP.V != want.V || gotP.Sim != want.Sim {
+					t.Fatalf("pair %d = (%d,%d,%x), want (%d,%d,%x)",
+						i, gotP.U, gotP.V, gotP.Sim, want.U, want.V, want.Sim)
+				}
+				if len(gotP.Common) != len(want.Common) {
+					t.Fatalf("pair %d: %d commons, want %d", i, len(gotP.Common), len(want.Common))
+				}
+				for j := range want.Common {
+					if gotP.Common[j] != want.Common[j] {
+						t.Fatalf("pair %d common %d = %d, want %d", i, j, gotP.Common[j], want.Common[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVertexNormsPartialRefresh checks the incremental norm contract: after
+// an edge arrival, refreshing only the two endpoints on arrays carrying the
+// old graph's norms yields exactly the fresh batch arrays.
+func TestVertexNormsPartialRefresh(t *testing.T) {
+	src := rng.New(11)
+	g0 := graph.ErdosRenyi(60, 0.08, src)
+	n := g0.NumVertices()
+	h1 := make([]float64, n)
+	h2 := make([]float64, n)
+	VertexNorms(g0, h1, h2, 0, n)
+
+	// Rebuild with one extra edge, refresh only its endpoints.
+	b := graph.NewBuilder(n)
+	for _, e := range g0.Edges() {
+		b.MustAddEdge(int(e.U), int(e.V), e.Weight)
+	}
+	u, v := 0, n-1
+	if _, ok := g0.EdgeBetween(u, v); ok {
+		t.Skip("random graph already has the probe edge")
+	}
+	b.MustAddEdge(u, v, 0.7)
+	g1 := b.Build(nil)
+	VertexNorms(g1, h1, h2, u, u+1)
+	VertexNorms(g1, h1, h2, v, v+1)
+
+	w1 := make([]float64, n)
+	w2 := make([]float64, n)
+	VertexNorms(g1, w1, w2, 0, n)
+	for i := 0; i < n; i++ {
+		if h1[i] != w1[i] || h2[i] != w2[i] {
+			t.Fatalf("vertex %d: partial (%x,%x) vs batch (%x,%x)", i, h1[i], h2[i], w1[i], w2[i])
+		}
+	}
+}

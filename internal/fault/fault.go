@@ -55,6 +55,17 @@ const (
 	// budget check treats a firing hit as a breach, forcing the degrade
 	// path without having to actually exhaust the heap.
 	MemBreach
+	// StreamIngest fires once per arrival batch at the head of the stream
+	// engine's ingest, before any state is touched. Arming it with a
+	// context-cancel action proves a cancelled ingest is atomic: the engine
+	// reports ctx.Err() and the next Snapshot still matches the batch oracle
+	// on the pre-batch graph.
+	StreamIngest
+	// StreamCompact fires at the entry of every stream compaction (the
+	// batch-path fallback), after the trigger decided but before the batch
+	// recompute starts. Arming it with a context-cancel action exercises the
+	// engine's compaction-abort path; disarmed runs stay golden.
+	StreamCompact
 	numPoints
 )
 
@@ -69,6 +80,10 @@ func (p Point) String() string {
 		return "cancel-window"
 	case MemBreach:
 		return "mem-breach"
+	case StreamIngest:
+		return "stream-ingest"
+	case StreamCompact:
+		return "stream-compact"
 	default:
 		return "invalid"
 	}
@@ -77,7 +92,7 @@ func (p Point) String() string {
 // Points returns every registered injection point, for docs and the
 // fault-matrix test that arms each one in turn.
 func Points() []Point {
-	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach}
+	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach, StreamIngest, StreamCompact}
 }
 
 type arming struct {

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// maxDynamicVertices caps Dynamic's vertex growth, mirroring the reader's
+// hardened bound: vertex and edge ids must stay representable as int32.
+const maxDynamicVertices = 1 << 31
+
+// Dynamic is a mutable weighted undirected graph for streaming ingestion.
+// It maintains exactly the invariants Builder.Build establishes — adjacency
+// sorted by neighbor id, canonical U < V edges, dense edge ids in first-
+// insertion order, last-write-wins weight overwrites that keep the original
+// edge id — so a Dynamic fed a sequence of arrivals and a Builder fed the
+// same sequence produce element-wise identical graphs. That equivalence is
+// what makes a batch run on the accumulated graph a valid oracle for the
+// incremental engine in internal/stream.
+//
+// Snapshot returns an immutable *Graph view in O(1); copy-on-write keeps
+// every issued snapshot stable under later mutations (mutated adjacency rows
+// and overwritten edge records are re-allocated, never rewritten in place).
+// Dynamic is not safe for concurrent use; callers serialize access.
+type Dynamic struct {
+	adj   [][]Half
+	edges []Edge
+	seen  map[[2]int32]int32 // canonical pair -> edge id
+
+	// Copy-on-write state: Snapshot marks the outer adjacency array and the
+	// edge slice as shared; the first subsequent row replacement (or edge
+	// overwrite) clones the shared container. Appends never need a clone —
+	// they write beyond every snapshot's length. Inner rows are always
+	// re-allocated on mutation, so they need no flag.
+	adjShared   bool
+	edgesShared bool
+}
+
+// NewDynamic returns an empty mutable graph.
+func NewDynamic() *Dynamic {
+	return &Dynamic{seen: make(map[[2]int32]int32)}
+}
+
+// NumVertices returns the current vertex count.
+func (d *Dynamic) NumVertices() int { return len(d.adj) }
+
+// NumEdges returns the current edge count.
+func (d *Dynamic) NumEdges() int { return len(d.edges) }
+
+// EnsureVertices grows the vertex set to at least n (new vertices start
+// isolated). Shrinking is not supported; a smaller n is a no-op. Counts
+// beyond the int32 id space are rejected with an error wrapping
+// ErrVertexRange.
+func (d *Dynamic) EnsureVertices(n int) error {
+	if n > maxDynamicVertices {
+		return fmt.Errorf("graph: vertex count %d exceeds %d: %w", n, maxDynamicVertices, ErrVertexRange)
+	}
+	for len(d.adj) < n {
+		// Appending can extend shared backing in place, but only beyond
+		// every snapshot's length, so snapshots never observe the growth.
+		d.adj = append(d.adj, nil)
+	}
+	return nil
+}
+
+// AddEdge inserts the undirected edge {u, v} with the given weight, or
+// overwrites the weight if the pair exists (the edge keeps its original id,
+// exactly like Builder.AddEdge). New edges are assigned the next dense id.
+// Validation mirrors Builder.AddEdge: errors wrap ErrVertexRange,
+// ErrSelfLoop, or ErrBadWeight. It returns the edge's id and whether the
+// call overwrote an existing edge.
+func (d *Dynamic) AddEdge(u, v int, w float64) (id int32, overwrote bool, err error) {
+	n := len(d.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, false, fmt.Errorf("graph: edge (%d,%d) outside [0,%d): %w", u, v, n, ErrVertexRange)
+	}
+	if u == v {
+		return 0, false, fmt.Errorf("graph: edge (%d,%d): %w", u, v, ErrSelfLoop)
+	}
+	if !(w > 0) || math.IsInf(w, 1) {
+		return 0, false, fmt.Errorf("graph: edge (%d,%d) weight %v (must be positive and finite): %w", u, v, w, ErrBadWeight)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int32{int32(u), int32(v)}
+	if e, ok := d.seen[key]; ok {
+		d.setWeight(e, u, v, w)
+		return e, true, nil
+	}
+	e := int32(len(d.edges))
+	d.seen[key] = e
+	if d.edgesShared && len(d.edges) == cap(d.edges) {
+		// The append below would reallocate anyway; let it.
+		d.edgesShared = false
+	}
+	d.edges = append(d.edges, Edge{U: int32(u), V: int32(v), Weight: w})
+	d.insertHalf(u, Half{To: int32(v), Weight: w, Edge: e})
+	d.insertHalf(v, Half{To: int32(u), Weight: w, Edge: e})
+	return e, false, nil
+}
+
+// setWeight overwrites edge e = {u, v} with weight w, cloning the shared
+// edge slice and both adjacency rows so issued snapshots keep the old value.
+func (d *Dynamic) setWeight(e int32, u, v int, w float64) {
+	if d.edgesShared {
+		d.edges = slices.Clone(d.edges)
+		d.edgesShared = false
+	}
+	d.edges[e].Weight = w
+	d.rewriteHalf(u, int32(v), w)
+	d.rewriteHalf(v, int32(u), w)
+}
+
+// mutableOuter clones the outer adjacency array if a snapshot shares it, so
+// a row-pointer replacement cannot leak into issued views.
+func (d *Dynamic) mutableOuter() {
+	if d.adjShared {
+		d.adj = slices.Clone(d.adj)
+		d.adjShared = false
+	}
+}
+
+// insertHalf inserts h into v's row at its sorted position. The row is
+// always re-allocated: an in-place insertion would shift entries a snapshot
+// may still be reading.
+func (d *Dynamic) insertHalf(v int, h Half) {
+	d.mutableOuter()
+	old := d.adj[v]
+	i, _ := slices.BinarySearchFunc(old, h.To, func(x Half, to int32) int { return int(x.To) - int(to) })
+	row := make([]Half, len(old)+1)
+	copy(row, old[:i])
+	row[i] = h
+	copy(row[i+1:], old[i:])
+	d.adj[v] = row
+}
+
+// rewriteHalf replaces the weight of v's half-edge to neighbor to, cloning
+// the row.
+func (d *Dynamic) rewriteHalf(v int, to int32, w float64) {
+	d.mutableOuter()
+	row := slices.Clone(d.adj[v])
+	i, ok := slices.BinarySearchFunc(row, to, func(x Half, t int32) int { return int(x.To) - int(t) })
+	if !ok {
+		panic(fmt.Sprintf("graph: dynamic adjacency of %d lost neighbor %d", v, to))
+	}
+	row[i].Weight = w
+	d.adj[v] = row
+}
+
+// Snapshot returns an immutable view of the current graph. The view costs
+// O(1) and stays valid forever: later mutations copy-on-write everything the
+// view can reach. Vertices are unlabeled.
+func (d *Dynamic) Snapshot() *Graph {
+	d.adjShared = true
+	d.edgesShared = true
+	return &Graph{adj: d.adj[:len(d.adj):len(d.adj)], edges: d.edges[:len(d.edges):len(d.edges)]}
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"linkclust/internal/core"
+	"linkclust/internal/graph"
+	"linkclust/internal/rng"
+)
+
+// countdownCtx mirrors the root package's deterministic cancellation source:
+// Err is nil for the first k calls and context.Canceled afterwards, which
+// pins cancellation to the k-th polling point without timing dependence.
+type countdownCtx struct {
+	remaining atomic.Int64
+	done      chan struct{}
+	once      sync.Once
+}
+
+func newCountdownCtx(k int64) *countdownCtx {
+	c := &countdownCtx{done: make(chan struct{})}
+	c.remaining.Store(k)
+	return c
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+// waitGoroutinesBack polls until the goroutine count returns to base.
+func waitGoroutinesBack(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamConcurrentIngestSnapshot hammers one engine from concurrent
+// ingesters and snapshotters (run under -race in CI): every snapshot must be
+// internally consistent, and the final state must match the batch oracle on
+// the accumulated graph. Concurrent interleaving makes edge-id assignment
+// order nondeterministic, so the oracle is built from the engine's own graph
+// rather than from a replayed arrival order.
+func TestStreamConcurrentIngestSnapshot(t *testing.T) {
+	g := graph.ErdosRenyi(48, 0.15, rng.New(2))
+	arrivals := arrivalsOf(g)
+	e, err := New(Options{Workers: 2, MaxVertices: g.NumVertices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ingesters = 4
+	errCh := make(chan error, ingesters+2)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	var ingestWG sync.WaitGroup
+	for i := 0; i < ingesters; i++ {
+		ingestWG.Add(1)
+		go func(i int) {
+			defer ingestWG.Done()
+			for lo := i; lo < len(arrivals); lo += ingesters {
+				a := arrivals[lo]
+				if err := e.Ingest(a.U, a.V, a.W); err != nil {
+					report(fmt.Errorf("ingester %d: %w", i, err))
+					return
+				}
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.Snapshot(); err != nil {
+					report(fmt.Errorf("snapshotter: %w", err))
+					return
+				}
+			}
+		}()
+	}
+	ingestWG.Wait()
+	close(stop)
+	snapWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	res, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Cluster(e.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "concurrent final", res, want)
+}
+
+// TestStreamCancelIngestLeavesValidState cancels an ingest at its first
+// row-recompute poll: the arrival batch is already applied to the graph, the
+// similarity refresh is abandoned, and the next (uncancelled) snapshot must
+// still match the batch oracle on the full accumulated graph — the deferred
+// refresh completes it. No goroutine may outlive the cancelled call.
+func TestStreamCancelIngestLeavesValidState(t *testing.T) {
+	g := graph.ErdosRenyi(48, 0.15, rng.New(5))
+	arrivals := arrivalsOf(g)
+	base := runtime.NumGoroutine()
+	e, err := New(Options{Workers: 4, MaxVertices: g.NumVertices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(arrivals) / 2
+	if err := e.IngestBatch(arrivals[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// k=1: the entry poll passes, the first row-loop poll cancels — after
+	// the graph mutation, before the refresh commits.
+	err = e.IngestBatchCtx(newCountdownCtx(1), arrivals[half:])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ingest: err = %v, want context.Canceled", err)
+	}
+	waitGoroutinesBack(t, base)
+	if got := e.Graph().NumEdges(); got != len(arrivals) {
+		t.Fatalf("cancelled ingest left %d edges, want %d applied", got, len(arrivals))
+	}
+	res, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot after cancelled ingest: %v", err)
+	}
+	requireSameResult(t, "after cancelled ingest", res,
+		batchOracle(t, g.NumVertices(), arrivals, len(arrivals)))
+	waitGoroutinesBack(t, base)
+}
+
+// TestStreamCancelSnapshotRetries cancels a snapshot mid-sweep and requires
+// the engine to survive: the cancelled call returns context.Canceled and no
+// result, the state is unchanged, and an immediate retry produces the exact
+// batch answer.
+func TestStreamCancelSnapshotRetries(t *testing.T) {
+	g := graph.ErdosRenyi(64, 0.2, rng.New(6))
+	arrivals := arrivalsOf(g)
+	base := runtime.NumGoroutine()
+	e, err := New(Options{Workers: 4, MaxVertices: g.NumVertices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SnapshotCtx(newCountdownCtx(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled snapshot: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled snapshot returned a result alongside the error")
+	}
+	waitGoroutinesBack(t, base)
+	got, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("retry after cancelled snapshot: %v", err)
+	}
+	requireSameResult(t, "retry after cancel", got,
+		batchOracle(t, g.NumVertices(), arrivals, len(arrivals)))
+	waitGoroutinesBack(t, base)
+}
