@@ -39,6 +39,7 @@ package linkclust
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -157,8 +158,26 @@ type WorkerPanicError = par.WorkerPanicError
 
 // CtrMemBudgetDegrades counts runs that breached the soft memory budget at
 // the initialization/sweep boundary and degraded from fine-grained to
-// coarse-grained clustering (see ClusterOptions.MemBudgetBytes).
+// coarse-grained clustering — since the out-of-core path landed, only
+// because the spill attempt itself failed at the disk
+// (see ClusterOptions.MemBudgetBytes).
 const CtrMemBudgetDegrades = "cluster.mem_budget_degrades"
+
+// CtrMemBudgetSpills counts runs that breached the soft memory budget and
+// were admitted to the out-of-core spilled sweep instead — the first rung
+// of the budget escalation ladder. A spilled run's output is bitwise
+// identical to the in-memory engines', so unlike a degrade this is
+// invisible to the result.
+const CtrMemBudgetSpills = "cluster.mem_budget_spills"
+
+// Spill counter names recorded by the out-of-core sweep. Buckets and bytes
+// are worker-invariant (pure functions of the pair list); read stalls are a
+// timing artifact.
+const (
+	CtrSpillBuckets      = core.CtrSpillBuckets
+	CtrSpillBytesWritten = core.CtrSpillBytesWritten
+	CtrSpillReadStalls   = core.CtrSpillReadStalls
+)
 
 // ClusterOptions configures an instrumented pipeline run.
 type ClusterOptions struct {
@@ -190,13 +209,22 @@ type ClusterOptions struct {
 	Relabel bool
 	// MemBudgetBytes, when positive, sets a soft live-heap budget for
 	// ClusterCtx: heap growth is measured from entry and checked at the
-	// initialization/sweep phase boundary, and on breach the run degrades
-	// gracefully to coarse-grained clustering (DefaultCoarseParams) over the
-	// already-computed pair list instead of paying the fine-grained sweep's
-	// allocations. The degrade is recorded on the Recorder under
-	// CtrMemBudgetDegrades. "Soft" means overshoot within a phase is only
-	// observed at the phase boundary; zero disables the budget.
+	// initialization/sweep phase boundary. On breach the run escalates in
+	// two rungs. First it admits the pair list to disk and runs the
+	// out-of-core spilled sweep (SweepSpilled, recorded under
+	// CtrMemBudgetSpills), whose output is bitwise identical to the
+	// in-memory engines. Only if spilling itself fails at the disk — store
+	// creation or a write error, which leaves the pair list intact — does
+	// the run degrade to coarse-grained clustering (DefaultCoarseParams)
+	// over that list, recorded under CtrMemBudgetDegrades. "Soft" means
+	// overshoot within a phase is only observed at the phase boundary; zero
+	// disables the budget.
 	MemBudgetBytes int64
+	// SpillDir is the parent directory for the out-of-core sweep's private
+	// spill directory (EngineSpill or the budget admission path); empty
+	// means os.TempDir(). Each run spills into its own subdirectory and
+	// removes it on every exit path.
+	SpillDir string
 }
 
 // Similarity runs the initialization phase (Algorithm 1) serially with the
@@ -274,6 +302,36 @@ func SweepParallel(g *Graph, pl *PairList, workers int) (*Result, error) {
 // count. workers is normalized exactly as in SimilarityParallel.
 func SweepPipelined(g *Graph, pl *PairList, workers int) (*Result, error) {
 	return core.SweepPipelined(g, pl, workers)
+}
+
+// SweepSpilled runs the sweeping phase out of core: the pair list is
+// radix-partitioned into per-similarity-bucket spill files (in a private
+// directory under os.TempDir(), removed on every exit path), the in-memory
+// list is released, and the buckets stream back from disk through the same
+// frontier-fed engine the pipelined sweep drives — so the pair list never
+// has to be memory-resident during the merge. The merge stream is bitwise
+// identical to Sweep at any worker count. SweepSpilled consumes pl: on
+// success pl.Pairs is nil; only a write-phase disk failure leaves it
+// intact. workers is normalized exactly as in SimilarityParallel.
+func SweepSpilled(g *Graph, pl *PairList, workers int) (*Result, error) {
+	return core.SweepSpilled(g, pl, workers)
+}
+
+// SweepSpilledCtx is SweepSpilled with cooperative cancellation, panic
+// isolation, optional instrumentation, and an explicit spill parent
+// directory (empty means os.TempDir()). Cancellation is honored at the
+// scatter's poll points, the producer's bucket claims/publishes, and the
+// engine's window cuts; the run's spill directory is removed on every exit
+// path and no goroutine outlives the call.
+func SweepSpilledCtx(ctx context.Context, g *Graph, pl *PairList, workers int, spillDir string, rec *Recorder) (*Result, error) {
+	return core.SweepSpilledOpts(ctx, g, pl, workers, core.SpillOptions{Dir: spillDir}, rec)
+}
+
+// ClusterOutOfCore is the end-to-end out-of-core pipeline: the parallel
+// initialization phase followed by SweepSpilled. Output is bitwise
+// identical to Cluster for any worker count.
+func ClusterOutOfCore(g *Graph, workers int) (*Result, error) {
+	return core.ClusterOutOfCore(g, workers)
 }
 
 // CompactPairs converts a pair list to the struct-of-arrays layout, roughly
@@ -381,6 +439,26 @@ func ClusterCtx(ctx context.Context, g *Graph, opts ClusterOptions) (*Result, er
 		return nil, err
 	}
 	if budget.Exceeded() {
+		// Escalation ladder, rung 1: admit the pair list to disk and sweep
+		// out of core — exact output, the list no longer held in memory.
+		opts.Recorder.Add(CtrMemBudgetSpills, 1)
+		opts.Recorder.SetMeta("sweep_engine", EngineSpill)
+		res, serr := core.SweepSpilledOpts(ctx, g, pl, opts.Workers,
+			core.SpillOptions{Dir: opts.SpillDir}, opts.Recorder)
+		if serr == nil {
+			return res, nil
+		}
+		// Rung 2 applies only to disk failures during the write phase, which
+		// leave the pair list intact (SweepSpilled's contract). Cancellation,
+		// worker panics, and read-phase failures (list already released) are
+		// terminal.
+		if ctx.Err() != nil || pl.Pairs == nil {
+			return nil, serr
+		}
+		var wpe *par.WorkerPanicError
+		if errors.As(serr, &wpe) {
+			return nil, serr
+		}
 		opts.Recorder.Add(CtrMemBudgetDegrades, 1)
 		params := coarse.DefaultParams()
 		params.Workers = opts.Workers
@@ -396,6 +474,9 @@ func ClusterCtx(ctx context.Context, g *Graph, opts ClusterOptions) (*Result, er
 	}
 	opts.Recorder.SetMeta("sweep_engine", engine)
 	switch engine {
+	case core.SweepEngineSpill:
+		return core.SweepSpilledOpts(ctx, g, pl, opts.Workers,
+			core.SpillOptions{Dir: opts.SpillDir}, opts.Recorder)
 	case core.SweepEnginePipelined:
 		return core.SweepPipelinedCtx(ctx, g, pl, opts.Workers, opts.Recorder)
 	case core.SweepEngineParallel:
@@ -412,6 +493,7 @@ const (
 	EngineSerial    = core.SweepEngineSerial
 	EngineParallel  = core.SweepEngineParallel
 	EnginePipelined = core.SweepEnginePipelined
+	EngineSpill     = core.SweepEngineSpill
 )
 
 // resolveSweepEngine maps ClusterOptions to a concrete sweep engine. The
@@ -432,11 +514,11 @@ func resolveSweepEngine(opts ClusterOptions, pl *PairList) (string, error) {
 		}
 	case EngineAuto:
 		return core.ChooseSweepEngine(pl.NumIncidentPairs(), opts.Workers, opts.Pipeline), nil
-	case EngineSerial, EngineParallel, EnginePipelined:
+	case EngineSerial, EngineParallel, EnginePipelined, EngineSpill:
 		return opts.Engine, nil
 	default:
-		return "", fmt.Errorf("linkclust: unknown sweep engine %q (want %q, %q, %q, or %q)",
-			opts.Engine, EngineAuto, EngineSerial, EngineParallel, EnginePipelined)
+		return "", fmt.Errorf("linkclust: unknown sweep engine %q (want %q, %q, %q, %q, or %q)",
+			opts.Engine, EngineAuto, EngineSerial, EngineParallel, EnginePipelined, EngineSpill)
 	}
 }
 

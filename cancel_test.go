@@ -3,6 +3,7 @@ package linkclust
 import (
 	"context"
 	"errors"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"linkclust/internal/core"
+	"linkclust/internal/fault"
 )
 
 // countdownCtx is a deterministic cancellation source: its Err is nil for the
@@ -81,6 +83,7 @@ func TestCancelPreCanceledParity(t *testing.T) {
 			{"SweepCtx", func(pl *PairList) (*Result, error) { return SweepCtx(ctx, g, pl, nil) }},
 			{"SweepParallelCtx", func(pl *PairList) (*Result, error) { return SweepParallelCtx(ctx, g, pl, workers, nil) }},
 			{"SweepPipelinedCtx", func(pl *PairList) (*Result, error) { return SweepPipelinedCtx(ctx, g, pl, workers, nil) }},
+			{"SweepSpilledCtx", func(pl *PairList) (*Result, error) { return SweepSpilledCtx(ctx, g, pl, workers, "", nil) }},
 		}
 		for _, e := range engines {
 			res, err := e.run(Similarity(g))
@@ -175,6 +178,9 @@ func TestCancelMidSweepEngines(t *testing.T) {
 		{"SweepPipelinedCtx", func(ctx context.Context, pl *PairList, workers int, rec *Recorder) (*Result, error) {
 			return SweepPipelinedCtx(ctx, g, pl, workers, rec)
 		}},
+		{"SweepSpilledCtx", func(ctx context.Context, pl *PairList, workers int, rec *Recorder) (*Result, error) {
+			return SweepSpilledCtx(ctx, g, pl, workers, "", rec)
+		}},
 	}
 	for _, e := range engines {
 		for workers := 1; workers <= 8; workers++ {
@@ -194,6 +200,63 @@ func TestCancelMidSweepEngines(t *testing.T) {
 					e.name, workers, got, totalPairs)
 			}
 		}
+	}
+	waitGoroutinesBack(t, base)
+}
+
+// TestCancelSpilledCleanup cancels the out-of-core sweep in both phases —
+// countdown contexts land inside the spill-write scatter, the armed
+// CancelWindow point lands inside the read-back merge — and verifies every
+// exit removes its spill directory and brings every goroutine back.
+func TestCancelSpilledCleanup(t *testing.T) {
+	resetFaults(t)
+	g := goldenGraph(t)
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	requireClean := func(label string) {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: reading spill parent: %v", label, err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("%s: %d entries left in the spill parent, first %q",
+				label, len(entries), entries[0].Name())
+		}
+	}
+
+	// Write phase: the scatter polls the countdown at fixed pair strides, so
+	// small k values cancel before the read-back begins.
+	for _, k := range []int64{1, 3, 10} {
+		for _, workers := range []int{1, 4, 8} {
+			res, err := SweepSpilledCtx(newCountdownCtx(k), g, Similarity(g), workers, dir, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("write-phase k=%d T=%d: err = %v, want context.Canceled", k, workers, err)
+			}
+			if res != nil {
+				t.Fatalf("write-phase k=%d T=%d: returned a result alongside the error", k, workers)
+			}
+			requireClean("write phase")
+		}
+	}
+
+	// Read phase: the merge consumer hits the CancelWindow point once per
+	// window, so arming it with a cancel lands deterministically after the
+	// spill files exist and the read-back has begun.
+	for _, workers := range []int{1, 4, 8} {
+		resetFaults(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		fault.Arm(fault.CancelWindow, 2, cancel)
+		res, err := SweepSpilledCtx(ctx, g, Similarity(g), workers, dir, nil)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("read-phase T=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("read-phase T=%d: returned a result alongside the error", workers)
+		}
+		requireClean("read phase")
 	}
 	waitGoroutinesBack(t, base)
 }

@@ -434,7 +434,8 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		algo     = fs.String("algo", "sweep", "algorithm: sweep, coarse, nbm, slink")
 		workers  = fs.Int("workers", 1, "worker threads for init and the sweep/coarse phases")
 		pipeline = fs.Bool("pipeline", false, "sweep: overlap sorting with merging (output unchanged)")
-		engine   = fs.String("engine", "auto", "sweep engine: auto, serial, parallel, pipelined (output identical; auto falls back to serial below a measured op-count threshold)")
+		engine   = fs.String("engine", "auto", "sweep engine: auto, serial, parallel, pipelined, spill (output identical; auto falls back to serial below a measured op-count threshold)")
+		spillDir = fs.String("spill-dir", "", "sweep: spill similarity buckets to disk under this directory and sweep out of core (implies -engine spill; empty with -engine spill uses the system temp dir)")
 		relabel  = fs.Bool("relabel", false, "run phase I over a degree-relabeled graph for cache locality (output unchanged)")
 		stream   = fs.Bool("stream", false, "sweep: replay the input edges through the incremental stream engine (output unchanged)")
 		streamB  = fs.Int("stream-batch", 256, "stream: arrivals per ingest batch")
@@ -459,12 +460,27 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		return fmt.Errorf("-pipeline only applies to -algo sweep")
 	}
 	switch *engine {
-	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined:
+	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined, linkclust.EngineSpill:
 	default:
-		return fmt.Errorf("unknown -engine %q (want auto, serial, parallel or pipelined)", *engine)
+		return fmt.Errorf("unknown -engine %q (want auto, serial, parallel, pipelined or spill)", *engine)
 	}
 	if *pipeline && *engine != linkclust.EngineAuto && *engine != linkclust.EnginePipelined {
 		return fmt.Errorf("-pipeline conflicts with -engine %s", *engine)
+	}
+	if *spillDir != "" {
+		if *algo != "sweep" {
+			return fmt.Errorf("-spill-dir only applies to -algo sweep")
+		}
+		if *pipeline {
+			return fmt.Errorf("-spill-dir conflicts with -pipeline")
+		}
+		if *engine != linkclust.EngineAuto && *engine != linkclust.EngineSpill {
+			return fmt.Errorf("-spill-dir conflicts with -engine %s", *engine)
+		}
+		*engine = linkclust.EngineSpill
+	}
+	if *engine == linkclust.EngineSpill && *pipeline {
+		return fmt.Errorf("-pipeline conflicts with -engine spill")
 	}
 	if *stream {
 		if *algo != "sweep" {
@@ -475,6 +491,9 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		}
 		if *engine != linkclust.EngineAuto {
 			return fmt.Errorf("-stream conflicts with -engine %s", *engine)
+		}
+		if *spillDir != "" {
+			return fmt.Errorf("-stream conflicts with -spill-dir")
 		}
 		if *streamB < 1 {
 			return fmt.Errorf("-stream-batch must be at least 1")
@@ -582,6 +601,8 @@ func cmdCluster(ctx context.Context, args []string, stdin io.Reader, stdout io.W
 		rec.SetMeta("sweep_engine", sel)
 		var res *linkclust.Result
 		switch sel {
+		case linkclust.EngineSpill:
+			res, err = core.SweepSpilledOpts(ctx, g, pl, *workers, core.SpillOptions{Dir: *spillDir}, rec)
 		case linkclust.EnginePipelined:
 			res, err = core.SweepPipelinedCtx(ctx, g, pl, *workers, rec)
 		case linkclust.EngineParallel:

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"linkclust/internal/fault"
+	"linkclust/internal/spill"
 )
 
 // Differential fault-injection harness. Each scenario arms exactly one
@@ -171,15 +172,19 @@ func TestFaultCancelWindow(t *testing.T) {
 	waitGoroutinesBack(t, base)
 }
 
-// TestFaultMemBreach arms the budget point: ClusterCtx must degrade to the
-// coarse algorithm, record the degrade counter, and still return a usable
-// result.
+// TestFaultMemBreach arms the budget point and walks the full escalation
+// ladder. First rung: a breach alone makes ClusterCtx spill the pair list
+// to disk and sweep out of core — the result stays bitwise golden and the
+// spill counter records the reroute. Second rung: a breach whose spill
+// write also fails degrades fine→coarse, recording both counters. A
+// read-phase spill failure cannot degrade (the pair list is already gone)
+// and surfaces its typed error instead.
 func TestFaultMemBreach(t *testing.T) {
 	resetFaults(t)
 	g := goldenGraph(t)
 	rec := NewRecorder()
 	// A budget far above anything this run allocates: only the injected
-	// breach can trigger the degrade, so the test is deterministic on any
+	// breach can trigger the ladder, so the test is deterministic on any
 	// host.
 	fault.Arm(fault.MemBreach, 1, nil)
 	res, err := ClusterCtx(context.Background(), g, ClusterOptions{
@@ -190,11 +195,42 @@ func TestFaultMemBreach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.Counter(CtrMemBudgetDegrades); got != 1 {
+	if got := rec.Counter(CtrMemBudgetSpills); got != 1 {
+		t.Fatalf("%s = %d, want 1", CtrMemBudgetSpills, got)
+	}
+	if got := rec.Counter(CtrMemBudgetDegrades); got != 0 {
+		t.Fatalf("%s = %d after a successful spill, want 0", CtrMemBudgetDegrades, got)
+	}
+	if got := sha(canonMerges(res)); got != goldenClusterSHA {
+		t.Fatalf("spilled hash %s, golden %s — the out-of-core reroute changed the output", got, goldenClusterSHA)
+	}
+	if rec.Counter(CtrSpillBuckets) < 1 || rec.Counter(CtrSpillBytesWritten) < 1 {
+		t.Fatal("spilled run recorded no spill activity")
+	}
+
+	// Second rung: the spill's block write fails (deterministic ENOSPC), so
+	// the run degrades to the coarse algorithm.
+	fault.Reset()
+	fault.Arm(fault.MemBreach, 1, nil)
+	fault.Arm(fault.SpillWrite, 1, nil)
+	recD := NewRecorder()
+	resD, err := ClusterCtx(context.Background(), g, ClusterOptions{
+		Workers:        4,
+		Recorder:       recD,
+		MemBudgetBytes: 1 << 50,
+	})
+	fault.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recD.Counter(CtrMemBudgetSpills); got != 1 {
+		t.Fatalf("%s = %d on the degrade rung, want 1 (the spill was attempted)", CtrMemBudgetSpills, got)
+	}
+	if got := recD.Counter(CtrMemBudgetDegrades); got != 1 {
 		t.Fatalf("%s = %d, want 1", CtrMemBudgetDegrades, got)
 	}
-	if len(res.Merges) == 0 || res.NumClusters() <= 0 {
-		t.Fatalf("degraded run produced no clustering: %d merges", len(res.Merges))
+	if len(resD.Merges) == 0 || resD.NumClusters() <= 0 {
+		t.Fatalf("degraded run produced no clustering: %d merges", len(resD.Merges))
 	}
 	// The coarse path must actually differ from the fine-grained sweep's
 	// level structure (one level per chunk, not per threshold) — proof the
@@ -203,13 +239,25 @@ func TestFaultMemBreach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Levels >= fine.Levels {
-		t.Fatalf("degraded run has %d levels, fine-grained %d — expected coarser", res.Levels, fine.Levels)
+	if resD.Levels >= fine.Levels {
+		t.Fatalf("degraded run has %d levels, fine-grained %d — expected coarser", resD.Levels, fine.Levels)
+	}
+
+	// Read-phase failure: the pair list was released to disk, so there is
+	// nothing left to degrade onto — the typed error surfaces.
+	fault.Arm(fault.MemBreach, 1, nil)
+	fault.Arm(fault.SpillRead, 1, nil)
+	_, err = ClusterCtx(context.Background(), g, ClusterOptions{
+		Workers:        4,
+		MemBudgetBytes: 1 << 50,
+	})
+	fault.Reset()
+	if !errors.Is(err, spill.ErrChecksum) {
+		t.Fatalf("read-phase failure err = %v, want spill.ErrChecksum", err)
 	}
 
 	// Without the injected breach the same options take the fine-grained
 	// path and stay golden.
-	fault.Reset()
 	rec2 := NewRecorder()
 	res2, err := ClusterCtx(context.Background(), g, ClusterOptions{
 		Workers:        4,
@@ -219,8 +267,8 @@ func TestFaultMemBreach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rec2.Counter(CtrMemBudgetDegrades); got != 0 {
-		t.Fatalf("%s = %d without a breach, want 0", CtrMemBudgetDegrades, got)
+	if got := rec2.Counter(CtrMemBudgetDegrades) + rec2.Counter(CtrMemBudgetSpills); got != 0 {
+		t.Fatalf("ladder counters = %d without a breach, want 0", got)
 	}
 	if got := sha(canonMerges(res2)); got != goldenClusterSHA {
 		t.Fatalf("hash %s with an unbreached budget, golden %s", got, goldenClusterSHA)
@@ -243,14 +291,18 @@ func streamArrivals(g *Graph) []Arrival {
 // TestFaultMatrix is the CI smoke: every registered point armed once with a
 // benign action against the path that passes it — the run must complete
 // golden (a benign action changes nothing) and the hit counter must show the
-// point actually fired.
+// point actually fired. The spill points are the exception: for them the
+// firing IS the fault (an injected write failure / checksum mismatch), so
+// the armed run must fail with the typed error and the disarmed rerun must
+// be golden.
 func TestFaultMatrix(t *testing.T) {
 	g := goldenGraph(t)
 	// MemBreach fires only when a budget is set; CancelWindow/SlowProducer/
 	// WorkerPanic all fire on the pipelined parallel path; the stream points
 	// fire on the incremental path (a whole-graph ingest hits the ingest
 	// point at the batch head, and the first snapshot — no checkpoints yet,
-	// so the replay fraction is 1 — takes the compaction fallback).
+	// so the replay fraction is 1 — takes the compaction fallback); the
+	// spill points fire on the out-of-core sweep.
 	for _, p := range fault.Points() {
 		t.Run(p.String(), func(t *testing.T) {
 			resetFaults(t)
@@ -259,6 +311,26 @@ func TestFaultMatrix(t *testing.T) {
 			var res *Result
 			var err error
 			switch p {
+			case fault.SpillWrite, fault.SpillRead:
+				want := spill.ErrWriteFault
+				if p == fault.SpillRead {
+					want = spill.ErrChecksum
+				}
+				if _, err = SweepSpilledCtx(context.Background(), g, Similarity(g), 4, "", nil); !errors.Is(err, want) {
+					t.Fatalf("armed %s: err = %v, want %v", p, err, want)
+				}
+				if !fired {
+					t.Fatalf("point %s never fired on the out-of-core sweep", p)
+				}
+				fault.Reset()
+				res, err = SweepSpilledCtx(context.Background(), g, Similarity(g), 4, "", nil)
+				if err != nil {
+					t.Fatalf("disarmed rerun: %v", err)
+				}
+				if got := sha(canonMerges(res)); got != goldenClusterSHA {
+					t.Fatalf("disarmed hash %s, golden %s", got, goldenClusterSHA)
+				}
+				return
 			case fault.StreamIngest, fault.StreamCompact:
 				var eng *Stream
 				eng, err = NewStream(StreamOptions{Workers: 4, MaxVertices: g.NumVertices()})

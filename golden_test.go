@@ -121,6 +121,17 @@ func TestGoldenClusterOutput(t *testing.T) {
 			t.Fatalf("ClusterPipelined T=%d hash %s, golden %s", workers, got, goldenClusterSHA)
 		}
 	}
+	// The out-of-core sweep routes the same pair list through disk; the
+	// golden pin extends to it unchanged at representative worker counts.
+	for _, workers := range []int{1, 4, 8} {
+		ooc, err := ClusterOutOfCore(g, workers)
+		if err != nil {
+			t.Fatalf("out-of-core T=%d: %v", workers, err)
+		}
+		if got := sha(canonMerges(ooc)); got != goldenClusterSHA {
+			t.Fatalf("ClusterOutOfCore T=%d hash %s, golden %s", workers, got, goldenClusterSHA)
+		}
+	}
 }
 
 // TestGoldenCounters runs the instrumented pipelined engine at several worker
@@ -169,7 +180,7 @@ func TestGoldenCounters(t *testing.T) {
 // pipeline — engine choice and vertex order affect speed only, never output.
 func TestGoldenEngineAndRelabel(t *testing.T) {
 	g := goldenGraph(t)
-	for _, engine := range []string{EngineAuto, EngineSerial, EngineParallel, EnginePipelined} {
+	for _, engine := range []string{EngineAuto, EngineSerial, EngineParallel, EnginePipelined, EngineSpill} {
 		for _, relabel := range []bool{false, true} {
 			for _, workers := range []int{1, 4, 8} {
 				res, err := ClusterCtx(context.Background(), g,

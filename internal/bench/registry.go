@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"service", "extension: linkclustd load test (cold vs cached over HTTP, concurrent clients)", Service},
 		{"kernels", "extension: relabeled similarity + CAS sweep bitwise-equivalence smoke", Kernels},
 		{"stream", "extension: incremental ingest+snapshot vs batch from scratch (bitwise self-validating)", Stream},
+		{"outofcore", "extension: disk-spilled sweep vs in-memory pipelined (bitwise self-validating)", OutOfCore},
 	}
 }
 

@@ -172,6 +172,84 @@ func ReadMerges(r io.Reader) (int, []Merge, error) {
 	return int(n), merges, nil
 }
 
+// Compact per-pair records for the out-of-core spill path. Each record is
+// the fixed 20-byte prefix U(4) V(4) SimBits(8) CommonLen(4), little-endian
+// like everything above, followed by CommonLen int32 common-edge ids — the
+// same fields WritePairList persists, minus the file envelope (the spill
+// store adds its own checksummed header per bucket). Sim travels as raw
+// float64 bits, so a decoded pair is bitwise identical to its source.
+
+// pairRecordFixed is the byte length of a record's fixed prefix.
+const pairRecordFixed = 20
+
+// appendPairRecord appends p's spill record to dst and returns the extended
+// slice.
+func appendPairRecord(dst []byte, p *Pair) []byte {
+	var fixed [pairRecordFixed]byte
+	binary.LittleEndian.PutUint32(fixed[0:], uint32(p.U))
+	binary.LittleEndian.PutUint32(fixed[4:], uint32(p.V))
+	binary.LittleEndian.PutUint64(fixed[8:], math.Float64bits(p.Sim))
+	binary.LittleEndian.PutUint32(fixed[16:], uint32(len(p.Common)))
+	dst = append(dst, fixed[:]...)
+	for _, c := range p.Common {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(c))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// decodePairRecords decodes exactly count records from payload, with every
+// Common slice carved from one shared arena (mirroring the similarity
+// kernel's layout, so a bucket's commons release together). The payload is
+// hostile input — it crossed a disk — so every length is validated against
+// the remaining bytes and maxDecodeCount before any allocation it sizes.
+func decodePairRecords(payload []byte, count int) ([]Pair, error) {
+	if count < 0 || count > maxDecodeCount {
+		return nil, fmt.Errorf("core: implausible spill pair count %d", count)
+	}
+	fixed := count * pairRecordFixed
+	if len(payload) < fixed {
+		return nil, fmt.Errorf("core: spill payload truncated: %d bytes for %d pairs", len(payload), count)
+	}
+	rem := len(payload) - fixed
+	if rem%4 != 0 {
+		return nil, fmt.Errorf("core: spill payload has %d trailing bytes", rem%4)
+	}
+	commons := rem / 4
+	if commons > maxDecodeCount {
+		return nil, fmt.Errorf("core: implausible spill commons count %d", commons)
+	}
+	pairs := make([]Pair, count)
+	arena := make([]int32, commons)
+	off, coff := 0, 0
+	for i := range pairs {
+		if len(payload)-off < pairRecordFixed {
+			return nil, fmt.Errorf("core: spill record %d truncated", i)
+		}
+		p := &pairs[i]
+		p.U = int32(binary.LittleEndian.Uint32(payload[off:]))
+		p.V = int32(binary.LittleEndian.Uint32(payload[off+4:]))
+		p.Sim = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+		k := int(binary.LittleEndian.Uint32(payload[off+16:]))
+		off += pairRecordFixed
+		if k > commons-coff || k > (len(payload)-off)/4 {
+			return nil, fmt.Errorf("core: spill record %d claims %d commons, %d bytes left", i, k, len(payload)-off)
+		}
+		dst := arena[coff : coff+k : coff+k]
+		for j := 0; j < k; j++ {
+			dst[j] = int32(binary.LittleEndian.Uint32(payload[off+4*j:]))
+		}
+		p.Common = dst
+		off += 4 * k
+		coff += k
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("core: spill payload has %d undecoded bytes", len(payload)-off)
+	}
+	return pairs, nil
+}
+
 func expectMagic(br *bufio.Reader, magic string) error {
 	buf := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, buf); err != nil {

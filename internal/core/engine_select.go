@@ -18,6 +18,12 @@ const (
 	// SweepEnginePipelined overlaps pair-list sorting with merging
 	// (SweepPipelined).
 	SweepEnginePipelined = "pipelined"
+	// SweepEngineSpill is the out-of-core sweep (SweepSpilled): similarity
+	// buckets spill to disk and stream back through the pipelined engine's
+	// frontier, so the pair list never has to be memory-resident. Never
+	// chosen by auto selection — the facade reaches it through the explicit
+	// engine option or the memory-budget admission path.
+	SweepEngineSpill = "spill"
 )
 
 // SweepAutoMinOps is the incident-operation count (K2 — the sum of

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"linkclust/internal/graph"
+	"linkclust/internal/spill"
 )
 
 // fuzzGraph decodes an arbitrary byte string into a small graph: the first
@@ -134,6 +137,100 @@ func FuzzSimilarity(f *testing.F) {
 		requireIdenticalSorted(t, "fuzz wedge vs legacy", Similarity(g), legacy)
 		for _, workers := range []int{2, 5, 8} {
 			requireIdenticalSorted(t, "fuzz parallel wedge vs legacy", SimilarityParallel(g, workers), legacy)
+		}
+	})
+}
+
+// FuzzSpillRoundTrip drives the out-of-core pair encoding through a real
+// spill store: every pair of an arbitrary graph's similarity output is
+// encoded, written through the write-behind pool, read back under the
+// checksummed header, and decoded — the multiset must survive bitwise.
+// Then one byte flip or truncation (position fuzzer-chosen) is applied to
+// a bucket file, and the open/decode path must reject it with an error —
+// never a panic, never a silently different pair list. Hostile bytes are
+// also fed straight to the record decoder.
+func FuzzSpillRoundTrip(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 1, 2, 1, 2, 3, 1, 0, 2, 1}, uint32(7), false)
+	f.Add([]byte{16, 0, 1, 0, 1, 2, 0, 2, 0, 0}, uint32(33), true)
+	f.Add([]byte{24, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint32(0), false)
+	f.Fuzz(func(t *testing.T, data []byte, mutOff uint32, truncate bool) {
+		// Hostile decode first: arbitrary payload bytes with an arbitrary
+		// claimed count must error or succeed, never panic.
+		_, _ = decodePairRecords(data, int(mutOff)%1024)
+
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		pl := Similarity(g)
+		if len(pl.Pairs) == 0 {
+			return
+		}
+		st, err := spill.NewStore([]int{0, 1}, spill.Options{Dir: t.TempDir(), BlockBytes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Remove()
+		var buf []byte
+		counts := [2]int{}
+		for i := range pl.Pairs {
+			b := i & 1
+			buf = appendPairRecord(buf[:0], &pl.Pairs[i])
+			if err := st.Append(b, buf); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			counts[b]++
+		}
+		if err := st.FinishWrites(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		var got []Pair
+		for b := 0; b < 2; b++ {
+			bk, err := st.OpenBucket(b)
+			if err != nil {
+				t.Fatalf("bucket %d: %v", b, err)
+			}
+			recs, err := decodePairRecords(bk.Payload, bk.Pairs)
+			if err != nil {
+				t.Fatalf("decode bucket %d: %v", b, err)
+			}
+			if len(recs) != counts[b] {
+				t.Fatalf("bucket %d: %d records back, wrote %d", b, len(recs), counts[b])
+			}
+			got = append(got, recs...)
+			bk.Close()
+		}
+		want := &PairList{Pairs: append([]Pair(nil), pl.Pairs...)}
+		requireIdenticalSorted(t, "fuzz spill round trip", &PairList{Pairs: got}, want)
+
+		// Corrupt bucket 0's file (ids 0,1 sort with bucket 0 first). Any
+		// byte flip must break the CRC or a validated header field; any
+		// truncation must break the size contract.
+		entries, err := os.ReadDir(st.Dir())
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("listing spill dir: %v (%d entries)", err, len(entries))
+		}
+		path := filepath.Join(st.Dir(), entries[0].Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truncate {
+			raw = raw[:int(mutOff)%len(raw)]
+		} else {
+			raw = append([]byte(nil), raw...)
+			raw[int(mutOff)%len(raw)] ^= 0x01 | byte(mutOff>>8)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		bk, err := st.OpenBucket(0)
+		if err == nil {
+			_, derr := decodePairRecords(bk.Payload, bk.Pairs)
+			bk.Close()
+			if derr == nil {
+				t.Fatal("mutated spill file opened and decoded cleanly")
+			}
 		}
 	})
 }

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/par"
+	"linkclust/internal/spill"
+)
+
+// Counter names recorded by the out-of-core (spilled) sweep.
+const (
+	// CtrSpillBuckets counts the non-empty similarity buckets written to
+	// disk. The bucket policy (width by list size) is shared with the
+	// in-memory pipelined sweep, so this always equals CtrPipelineBuckets
+	// for the same pair list — and like it, is worker-invariant.
+	CtrSpillBuckets = "spill.buckets"
+	// CtrSpillBytesWritten is the bytes the spill store wrote (encoded pair
+	// payloads plus per-bucket headers). A pure function of the pair list,
+	// hence worker-invariant.
+	CtrSpillBytesWritten = "spill.bytes_written"
+	// CtrSpillReadStalls counts consumer waits during read-back: times the
+	// sweep finished every published bucket and blocked for the next one to
+	// come off disk. A timing artifact — NOT worker-invariant.
+	CtrSpillReadStalls = "spill.read_stalls"
+)
+
+// spillScatterPollPairs is the cancellation-poll interval of the spill
+// scatter: each worker checks ctx once per this many pairs encoded, so
+// cancel latency during the write phase is bounded by one poll interval
+// plus one in-flight block per writer.
+const spillScatterPollPairs = 2048
+
+// SpillOptions configures the out-of-core sweep's disk store.
+type SpillOptions struct {
+	// Dir is the parent directory for the run's private spill directory
+	// (one per run, removed on every exit path); empty means os.TempDir().
+	Dir string
+}
+
+// SweepSpilled runs Algorithm 2 out of core: the pair list is MSD-radix
+// partitioned — with exactly the pipelined sweep's bucket policy — into
+// per-bucket spill files instead of an in-memory scratch, the in-memory
+// list is released, and a producer pool streams the buckets back from disk
+// (each sorted on arrival) into the same streaming engine the pipelined
+// sweep drives. The pair list therefore never needs to be resident twice,
+// and during the merge phase only the engine's window plus a bounded bucket
+// read-ahead is in memory; the merge stream stays bitwise identical to
+// Sweep, SweepParallel, and SweepPipelined at any worker count.
+//
+// SweepSpilled CONSUMES the pair list: on success and on any read-phase
+// failure pl.Pairs is nil (the memory was released to disk). Only a
+// write-phase failure — store creation or a block write, before anything
+// was released — leaves pl intact, which is what lets the facade fall back
+// to coarse-grained clustering when the disk itself fails.
+func SweepSpilled(g *graph.Graph, pl *PairList, workers int) (*Result, error) {
+	return SweepSpilledOpts(context.Background(), g, pl, workers, SpillOptions{}, nil)
+}
+
+// SweepSpilledCtx is SweepSpilled with cooperative cancellation, panic
+// isolation, and optional instrumentation, with the spill directory in its
+// default location.
+func SweepSpilledCtx(ctx context.Context, g *graph.Graph, pl *PairList, workers int, rec *obs.Recorder) (*Result, error) {
+	return SweepSpilledOpts(ctx, g, pl, workers, SpillOptions{}, rec)
+}
+
+// SweepSpilledOpts is the fully parameterized out-of-core sweep.
+// Cancellation points are the scatter's per-worker poll (write phase), the
+// producer's bucket claims and publishes, and the engine's op-count window
+// cuts (read phase); on every exit path — success, cancellation, fault, or
+// panic — the run's spill directory is removed and no goroutine outlives
+// the call. Spill I/O failures surface as typed errors from internal/spill
+// (errors.Is against spill.ErrWriteFault, spill.ErrChecksum,
+// spill.ErrTruncated, spill.ErrFormat).
+func SweepSpilledOpts(ctx context.Context, g *graph.Graph, pl *PairList, workers int, opt SpillOptions, rec *obs.Recorder) (res *Result, err error) {
+	defer par.RecoverPanicError(&err)
+	workers = par.Normalize(workers)
+	end := rec.Phase("sweep")
+	defer end()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	e := &sweepEngine{g: g, workers: workers, ctx: ctx}
+	n := len(pl.Pairs)
+	if n == 0 {
+		e.pl = &PairList{}
+		e.init()
+		if err := e.consume(0, true); err != nil {
+			return nil, err
+		}
+		pl.Pairs = nil
+		pl.Invalidate()
+		recordSweepEngine(rec, e)
+		recordSpill(rec, 0, 0, 0)
+		return e.res, nil
+	}
+
+	// Phase A — histogram + scatter to disk. The bucket policy (bit width by
+	// list size, the simBucket key transform) is exactly partitionPairs', so
+	// bucket ids, per-bucket extents, and the non-empty bucket count match
+	// the in-memory pipelined sweep bucket for bucket.
+	endWrite := rec.Phase("spill-write")
+	pairs := pl.Pairs
+	bits := pipelineBits
+	if n < pipelineSmallPairs {
+		bits = pipelineSmallBits
+	}
+	nb := 1 << bits
+	shift := uint(64 - bits)
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	counts := make([]int, w*nb)
+	par.Do(n, w, func(t, lo, hi int) {
+		row := counts[t*nb : (t+1)*nb]
+		for i := lo; i < hi; i++ {
+			row[simBucket(pairs[i].Sim, shift)]++
+		}
+	})
+	offs := make([]int, nb+1)
+	pos := 0
+	var bucketIDs []int
+	for b := 0; b < nb; b++ {
+		offs[b] = pos
+		for t := 0; t < w; t++ {
+			pos += counts[t*nb+b]
+		}
+		if pos > offs[b] {
+			bucketIDs = append(bucketIDs, b)
+		}
+	}
+	offs[nb] = pos
+
+	store, err := spill.NewStore(bucketIDs, spill.Options{Dir: opt.Dir})
+	if err != nil {
+		endWrite()
+		return nil, err
+	}
+	defer store.Remove()
+
+	par.Do(n, w, func(t, lo, hi int) {
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			if (i-lo)%spillScatterPollPairs == 0 && ctx.Err() != nil {
+				return
+			}
+			buf = appendPairRecord(buf[:0], &pairs[i])
+			if store.Append(simBucket(pairs[i].Sim, shift), buf) != nil {
+				return // sticky store error; FinishWrites reports it
+			}
+		}
+	})
+	if ctx.Err() != nil {
+		store.Abort()
+	}
+	werr := store.FinishWrites()
+	endWrite()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("core: spilling pair list: %w", werr)
+	}
+
+	// Phase B — the write succeeded in full; the on-disk copy is now the
+	// authoritative one, so release the in-memory list. From here on the
+	// run cannot fall back: a read failure is terminal.
+	pl.Pairs = nil
+	pl.Invalidate()
+	pairs = nil
+
+	// Phase C — stream the buckets back through the engine, mirroring
+	// SweepPipelinedCtx's producer/consumer structure. buf holds the pair
+	// headers only (the dominant commons payload stays on disk until its
+	// bucket is decoded, and is dropped again once the engine's window
+	// cursor passes it).
+	buf := make([]Pair, n)
+	e.pl = &PairList{Pairs: buf}
+	e.init()
+
+	endMerge := rec.Phase("merge")
+	defer endMerge()
+
+	prodCtx, stopProducer := context.WithCancel(ctx)
+	defer stopProducer()
+
+	slotPairs := make([][]Pair, len(bucketIDs))
+	slotErr := make([]error, len(bucketIDs))
+	var readErr error
+	frontiers := make(chan int, pipelineBucketAhead)
+	prodDone := make(chan error, 1)
+	go func() {
+		defer close(frontiers)
+		prodDone <- par.OrderedCtx(prodCtx, len(bucketIDs), pipelineSorters(workers), func(i int) {
+			b := bucketIDs[i]
+			bk, err := store.OpenBucket(b)
+			if err != nil {
+				slotErr[i] = err
+				return
+			}
+			defer bk.Close()
+			want := offs[b+1] - offs[b]
+			if bk.Pairs != want {
+				slotErr[i] = fmt.Errorf("core: spill bucket %d holds %d pairs, partition expects %d", b, bk.Pairs, want)
+				return
+			}
+			ps, err := decodePairRecords(bk.Payload, want)
+			if err != nil {
+				slotErr[i] = err
+				return
+			}
+			slices.SortFunc(ps, cmpPairs)
+			slotPairs[i] = ps
+		}, func(i int) {
+			if readErr != nil {
+				return
+			}
+			if slotErr[i] != nil {
+				// Stop the stream at the first bad bucket: record the error,
+				// release the workers, and publish nothing further — the
+				// consumer drains to the close and reports readErr.
+				readErr = slotErr[i]
+				stopProducer()
+				return
+			}
+			b := bucketIDs[i]
+			copy(buf[offs[b]:offs[b+1]], slotPairs[i])
+			slotPairs[i] = nil
+			select {
+			case frontiers <- offs[b+1]:
+			case <-prodCtx.Done():
+			}
+		})
+	}()
+
+	// Join the producer before unwinding on a consumer panic, exactly as the
+	// pipelined sweep does: release it, drain to the channel close, wait.
+	prodJoined := false
+	defer func() {
+		if !prodJoined {
+			stopProducer()
+			for range frontiers {
+			}
+			<-prodDone
+		}
+	}()
+
+	var stalls int64
+	released := 0
+	var cerr error
+	for {
+		var f int
+		var ok bool
+		select {
+		case f, ok = <-frontiers:
+		default:
+			f, ok = <-frontiers
+			if ok {
+				stalls++
+			}
+		}
+		if !ok {
+			break
+		}
+		if cerr == nil {
+			cerr = e.consume(f, false)
+			if cerr != nil {
+				stopProducer()
+				continue
+			}
+			// Everything below the window cursor is at its final position
+			// and will never be re-read: drop the commons references so each
+			// bucket's decode arena frees as the sweep moves past it.
+			for ; released < e.wp; released++ {
+				buf[released].Common = nil
+			}
+		}
+	}
+	prodJoined = true
+	perr := <-prodDone
+	err = cerr
+	if err == nil && readErr != nil {
+		err = readErr
+	}
+	if err == nil && perr != nil {
+		err = perr
+	}
+	if err == nil {
+		err = e.consume(n, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	recordSweepEngine(rec, e)
+	recordSpill(rec, int64(len(bucketIDs)), store.BytesWritten(), stalls)
+	return e.res, nil
+}
+
+// SpillPayloadBytes returns the exact on-disk payload footprint SweepSpilled
+// would write for pl: the fixed record prefix plus the common-neighbor
+// words of every pair. Callers size memory budgets against it — the bench
+// harness derives its "pair list at least 4× the budget" out-of-core
+// criterion from this value.
+func SpillPayloadBytes(pl *PairList) int64 {
+	total := int64(0)
+	for i := range pl.Pairs {
+		total += pairRecordFixed + 4*int64(len(pl.Pairs[i].Common))
+	}
+	return total
+}
+
+func recordSpill(rec *obs.Recorder, buckets, bytes, stalls int64) {
+	if rec == nil {
+		return
+	}
+	rec.Add(CtrSpillBuckets, buckets)
+	rec.Add(CtrSpillBytesWritten, bytes)
+	rec.Add(CtrSpillReadStalls, stalls)
+}
+
+// ClusterOutOfCore is the end-to-end out-of-core pipeline: the parallel
+// initialization phase followed by SweepSpilled. Output is bitwise
+// identical to Cluster for any worker count.
+func ClusterOutOfCore(g *graph.Graph, workers int) (*Result, error) {
+	return SweepSpilled(g, SimilarityParallel(g, workers), workers)
+}
+
+// ClusterOutOfCoreCtx is ClusterOutOfCore with cooperative cancellation,
+// panic isolation, optional instrumentation, and an explicit spill
+// directory.
+func ClusterOutOfCoreCtx(ctx context.Context, g *graph.Graph, workers int, opt SpillOptions, rec *obs.Recorder) (*Result, error) {
+	pl, err := SimilarityCtx(ctx, g, workers, rec)
+	if err != nil {
+		return nil, err
+	}
+	return SweepSpilledOpts(ctx, g, pl, workers, opt, rec)
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"linkclust/internal/fault"
+	"linkclust/internal/graph"
+	"linkclust/internal/obs"
+	"linkclust/internal/rng"
+	"linkclust/internal/spill"
+)
+
+// faultReset clears process-global fault armings; deferred by every test
+// that arms a point.
+func faultReset(t *testing.T) {
+	t.Helper()
+	fault.Reset()
+}
+
+func armSpillWrite(t *testing.T) {
+	t.Helper()
+	fault.Arm(fault.SpillWrite, 1, nil)
+}
+
+func armSpillRead(t *testing.T) {
+	t.Helper()
+	fault.Arm(fault.SpillRead, 1, nil)
+}
+
+// requireEmptySpillParent asserts the spilled sweep left nothing behind in
+// the directory it was told to spill under.
+func requireEmptySpillParent(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading spill parent: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill parent not cleaned: %d entries left, first %q", len(entries), entries[0].Name())
+	}
+}
+
+// TestSweepSpilledDifferential is the core acceptance differential: on every
+// graph family and worker counts 1..8, the out-of-core sweep must reproduce
+// the serial sweep exactly, consume its pair list, and leave its spill
+// parent empty.
+func TestSweepSpilledDifferential(t *testing.T) {
+	for name, g := range wedgeTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := Sweep(g, Similarity(g))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			dir := t.TempDir()
+			for workers := 1; workers <= 8; workers++ {
+				pl := Similarity(g)
+				res, err := SweepSpilledOpts(context.Background(), g, pl, workers, SpillOptions{Dir: dir}, nil)
+				if err != nil {
+					t.Fatalf("T=%d: %v", workers, err)
+				}
+				requireIdenticalSweep(t, fmt.Sprintf("spilled T=%d vs serial", workers), res, serial)
+				if pl.Pairs != nil {
+					t.Fatalf("T=%d: pair list not consumed by spilled sweep", workers)
+				}
+				requireEmptySpillParent(t, dir)
+			}
+		})
+	}
+}
+
+// TestSweepSpilledLargeRandom crosses the wide-bucket (16-bit) regime and
+// many windows, where the read-back pipeline actually streams.
+func TestSweepSpilledLargeRandom(t *testing.T) {
+	for seed := uint64(0); seed < 2; seed++ {
+		g := graph.ErdosRenyi(300, 0.06, rng.New(seed))
+		serial, err := Sweep(g, Similarity(g))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			res, err := SweepSpilled(g, Similarity(g), workers)
+			if err != nil {
+				t.Fatalf("seed %d T=%d: %v", seed, workers, err)
+			}
+			requireIdenticalSweep(t, fmt.Sprintf("seed %d T=%d", seed, workers), res, serial)
+		}
+	}
+}
+
+// TestSweepSpilledEmpty covers the degenerate entry: no pairs, no spill
+// directory created, a valid empty result.
+func TestSweepSpilledEmpty(t *testing.T) {
+	g := graph.DisjointEdges(5)
+	dir := t.TempDir()
+	res, err := SweepSpilledOpts(context.Background(), g, Similarity(g), 4, SpillOptions{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merges) != 0 || res.PairsProcessed != 0 {
+		t.Fatalf("empty graph produced %d merges, %d ops", len(res.Merges), res.PairsProcessed)
+	}
+	requireEmptySpillParent(t, dir)
+}
+
+// TestSweepSpilledErrorParity feeds a foreign pair list: the spilled sweep
+// must surface exactly the serial sweep's error and still clean its spill
+// directory.
+func TestSweepSpilledErrorParity(t *testing.T) {
+	g, err := graph.Circulant(48, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := graph.Complete(48)
+	_, serialErr := Sweep(g, Similarity(foreign))
+	if serialErr == nil {
+		t.Fatal("serial sweep accepted a foreign pair list")
+	}
+	dir := t.TempDir()
+	for workers := 1; workers <= 8; workers++ {
+		_, spErr := SweepSpilledOpts(context.Background(), g, Similarity(foreign), workers, SpillOptions{Dir: dir}, nil)
+		if spErr == nil {
+			t.Fatalf("T=%d: spilled sweep accepted a foreign pair list", workers)
+		}
+		if spErr.Error() != serialErr.Error() {
+			t.Fatalf("T=%d: error %q, want serial's %q", workers, spErr, serialErr)
+		}
+		requireEmptySpillParent(t, dir)
+	}
+}
+
+// TestSweepSpilledCounters checks the spilled path's instrumentation: the
+// bucket and bytes counters must be positive and worker-invariant, and the
+// bucket count must equal the in-memory pipelined sweep's — the two share
+// one bucket policy.
+func TestSweepSpilledCounters(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.08, rng.New(4))
+	pipRec := obs.New()
+	if _, err := SweepPipelinedRecorded(g, Similarity(g), 4, pipRec); err != nil {
+		t.Fatal(err)
+	}
+	pipBuckets := pipRec.Counter(CtrPipelineBuckets)
+	var buckets, bytes int64 = -1, -1
+	for _, workers := range []int{1, 4, 8} {
+		rec := obs.New()
+		res, err := SweepSpilledOpts(context.Background(), g, Similarity(g), workers, SpillOptions{}, rec)
+		if err != nil {
+			t.Fatalf("T=%d: %v", workers, err)
+		}
+		if got := rec.Counter(CtrSweepPairsProcessed); got != res.PairsProcessed {
+			t.Fatalf("T=%d: pairs counter %d, want %d", workers, got, res.PairsProcessed)
+		}
+		b, by := rec.Counter(CtrSpillBuckets), rec.Counter(CtrSpillBytesWritten)
+		if b < 1 || by < 1 {
+			t.Fatalf("T=%d: buckets=%d bytes=%d, want both positive", workers, b, by)
+		}
+		if b != pipBuckets {
+			t.Fatalf("T=%d: %d spill buckets, pipelined reports %d — bucket policies diverged", workers, b, pipBuckets)
+		}
+		if buckets >= 0 && (b != buckets || by != bytes) {
+			t.Fatalf("T=%d: buckets/bytes %d/%d, want worker-invariant %d/%d", workers, b, by, buckets, bytes)
+		}
+		buckets, bytes = b, by
+	}
+}
+
+// TestSweepSpilledPreCanceled: a canceled context must return before any
+// spill file is created.
+func TestSweepSpilledPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.ErdosRenyi(60, 0.15, rng.New(3))
+	dir := t.TempDir()
+	pl := Similarity(g)
+	res, err := SweepSpilledOpts(ctx, g, pl, 4, SpillOptions{Dir: dir}, nil)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if pl.Pairs == nil {
+		t.Fatal("pre-canceled run consumed the pair list")
+	}
+	requireEmptySpillParent(t, dir)
+}
+
+// TestSweepSpilledBadDir: an unusable spill parent must fail with a typed
+// error before the pair list is consumed — the contract the facade's
+// coarse-degrade fallback relies on.
+func TestSweepSpilledBadDir(t *testing.T) {
+	g := graph.ErdosRenyi(60, 0.15, rng.New(3))
+	pl := Similarity(g)
+	_, err := SweepSpilledOpts(context.Background(), g, pl, 4,
+		SpillOptions{Dir: "/nonexistent/spill/parent"}, nil)
+	if err == nil {
+		t.Fatal("spilled sweep accepted an unusable directory")
+	}
+	if pl.Pairs == nil {
+		t.Fatal("write-phase failure consumed the pair list")
+	}
+	if _, err := Sweep(g, pl); err != nil {
+		t.Fatalf("pair list unusable after failed spill: %v", err)
+	}
+}
+
+// TestSweepSpilledWriteFaultKeepsList: an injected block-write fault (the
+// deterministic ENOSPC) must surface spill.ErrWriteFault, keep the pair
+// list intact and sweepable, and leave the spill parent empty.
+func TestSweepSpilledWriteFaultKeepsList(t *testing.T) {
+	defer faultReset(t)
+	g := graph.ErdosRenyi(120, 0.1, rng.New(9))
+	serial, err := Sweep(g, Similarity(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	armSpillWrite(t)
+	dir := t.TempDir()
+	pl := Similarity(g)
+	_, spErr := SweepSpilledOpts(context.Background(), g, pl, 4, SpillOptions{Dir: dir}, nil)
+	if !errors.Is(spErr, spill.ErrWriteFault) {
+		t.Fatalf("error %v, want spill.ErrWriteFault", spErr)
+	}
+	faultReset(t)
+	if pl.Pairs == nil {
+		t.Fatal("write fault consumed the pair list")
+	}
+	requireEmptySpillParent(t, dir)
+	res, err := Sweep(g, pl)
+	if err != nil {
+		t.Fatalf("reusing pair list after write fault: %v", err)
+	}
+	requireIdenticalSweep(t, "reuse after write fault", res, serial)
+}
+
+// TestSweepSpilledReadFaultCleansUp: an injected read-back corruption must
+// surface spill.ErrChecksum and still remove the spill directory; the pair
+// list is gone (it was released to disk), which is the documented contract.
+func TestSweepSpilledReadFaultCleansUp(t *testing.T) {
+	defer faultReset(t)
+	g := graph.ErdosRenyi(120, 0.1, rng.New(9))
+	armSpillRead(t)
+	dir := t.TempDir()
+	pl := Similarity(g)
+	_, err := SweepSpilledOpts(context.Background(), g, pl, 4, SpillOptions{Dir: dir}, nil)
+	if !errors.Is(err, spill.ErrChecksum) {
+		t.Fatalf("error %v, want spill.ErrChecksum", err)
+	}
+	faultReset(t)
+	if pl.Pairs != nil {
+		t.Fatal("read-phase failure left the pair list claiming to be valid")
+	}
+	requireEmptySpillParent(t, dir)
+}

@@ -66,6 +66,19 @@ const (
 	// recompute starts. Arming it with a context-cancel action exercises the
 	// engine's compaction-abort path; disarmed runs stay golden.
 	StreamCompact
+	// SpillWrite fires in the spill store's write-behind pool, once per
+	// block write (the flush of a full or final per-bucket buffer). A firing
+	// hit is the fault: the block is not written and the store fails with an
+	// ENOSPC-shaped typed error. Block flush order is worker-dependent, so
+	// like WorkerPanic the N-th hit may land on any bucket, but the
+	// observable outcome — a typed write error from the entry point, the
+	// pair list intact, no spill files left behind — is identical.
+	SpillWrite
+	// SpillRead fires in the spill store's bucket open path, once per
+	// bucket, after the real checksum verified. A firing hit reports the
+	// bucket as corrupted (the checksum-mismatch typed error), exercising
+	// the read-back failure path without crafting a corrupt file on disk.
+	SpillRead
 	numPoints
 )
 
@@ -84,6 +97,10 @@ func (p Point) String() string {
 		return "stream-ingest"
 	case StreamCompact:
 		return "stream-compact"
+	case SpillWrite:
+		return "spill-write"
+	case SpillRead:
+		return "spill-read"
 	default:
 		return "invalid"
 	}
@@ -92,7 +109,7 @@ func (p Point) String() string {
 // Points returns every registered injection point, for docs and the
 // fault-matrix test that arms each one in turn.
 func Points() []Point {
-	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach, StreamIngest, StreamCompact}
+	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach, StreamIngest, StreamCompact, SpillWrite, SpillRead}
 }
 
 type arming struct {

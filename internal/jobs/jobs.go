@@ -49,14 +49,19 @@ type Options struct {
 	Pipeline bool `json:"pipeline,omitempty"`
 	// Engine selects the sweep engine for AlgoSweep jobs: "auto" (the
 	// default — serial below the measured op-count threshold, otherwise
-	// Workers/Pipeline decide), "serial", "parallel", or "pipelined". Does
-	// not affect the output, so it is excluded from result cache keys like
-	// Workers and Pipeline.
+	// Workers/Pipeline decide), "serial", "parallel", "pipelined", or
+	// "spill" (the out-of-core sweep over the daemon's spill directory).
+	// Does not affect the output, so it is excluded from result cache keys
+	// like Workers and Pipeline — spilled results are cacheable under the
+	// same keys precisely because the spilled merge stream is bitwise
+	// identical.
 	Engine string `json:"engine,omitempty"`
 	// TimeoutMS bounds the job's run time; 0 inherits the manager default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// MemBudgetBytes is the per-job soft live-heap growth budget; on breach
-	// at the init/sweep boundary the job degrades fine→coarse (see
+	// at the init/sweep boundary the job first spills the pair list to disk
+	// and sweeps out of core (bitwise-identical output, still cacheable),
+	// degrading fine→coarse only if the spill itself fails (see
 	// linkclust.ClusterOptions.MemBudgetBytes). 0 inherits the manager
 	// default; negative disables the budget for this job.
 	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
@@ -74,10 +79,10 @@ func (o Options) normalize() (Options, error) {
 		o.Engine = linkclust.EngineAuto
 	}
 	switch o.Engine {
-	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined:
+	case linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined, linkclust.EngineSpill:
 	default:
-		return o, fmt.Errorf("jobs: unknown engine %q (want %q, %q, %q or %q)",
-			o.Engine, linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined)
+		return o, fmt.Errorf("jobs: unknown engine %q (want %q, %q, %q, %q or %q)",
+			o.Engine, linkclust.EngineAuto, linkclust.EngineSerial, linkclust.EngineParallel, linkclust.EnginePipelined, linkclust.EngineSpill)
 	}
 	if o.TimeoutMS < 0 {
 		return o, fmt.Errorf("jobs: negative timeout_ms %d", o.TimeoutMS)
@@ -126,6 +131,10 @@ type Result struct {
 	PairsProcessed int64  `json:"pairs_processed"`
 	MergesSHA256   string `json:"merges_sha256"`
 	Degraded       bool   `json:"degraded,omitempty"`
+	// Spilled marks a run that went through the out-of-core sweep (explicit
+	// Engine "spill" or budget admission). Informational only: a spilled
+	// merge stream is bitwise identical to an in-memory one.
+	Spilled bool `json:"spilled,omitempty"`
 }
 
 // Job is one queued/running/finished clustering request. Fields are

@@ -15,6 +15,7 @@ import (
 	"linkclust"
 	"linkclust/internal/core"
 	"linkclust/internal/obs"
+	"linkclust/internal/par"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -54,9 +55,14 @@ type Config struct {
 	// (obs.LiveHeapBytes) at every enqueue.
 	MemBudgetBytes int64
 	// JobMemBudgetBytes is the default per-job soft growth budget handed
-	// to the pipeline; breach at the init/sweep boundary degrades the job
-	// fine→coarse (0 disables).
+	// to the pipeline; on breach at the init/sweep boundary a sweep job
+	// first spills its pair list to disk (SpillDir) and sweeps out of
+	// core, degrading fine→coarse only if the spill fails (0 disables).
 	JobMemBudgetBytes int64
+	// SpillDir is the parent directory for out-of-core spill files —
+	// per-run subdirectories are created and removed under it. Empty means
+	// the system temp directory.
+	SpillDir string
 	// CacheEntries bounds each side of the content-addressed cache and the
 	// shared-graph registry (default 64; <0 disables caching).
 	CacheEntries int
@@ -91,6 +97,7 @@ type Metrics struct {
 	Failed            int64 `json:"jobs_failed"`
 	Canceled          int64 `json:"jobs_canceled"`
 	Degraded          int64 `json:"jobs_degraded"`
+	Spilled           int64 `json:"jobs_spilled"`
 	RejectedQueueFull int64 `json:"rejected_queue_full"`
 	RejectedOverload  int64 `json:"rejected_mem_budget"`
 	RejectedDraining  int64 `json:"rejected_draining"`
@@ -124,9 +131,9 @@ type Manager struct {
 	rawLRU   []([sha256.Size]byte)
 	seq      int64
 
-	mSubmitted, mCompleted, mFailed, mCanceled, mDegraded atomic.Int64
-	mRejQueue, mRejOverload, mRejDraining                 atomic.Int64
-	mHitResult, mHitPairs, mActive                        atomic.Int64
+	mSubmitted, mCompleted, mFailed, mCanceled, mDegraded, mSpilled atomic.Int64
+	mRejQueue, mRejOverload, mRejDraining                           atomic.Int64
+	mHitResult, mHitPairs, mActive                                  atomic.Int64
 }
 
 type graphEntry struct {
@@ -389,10 +396,11 @@ func (m *Manager) runJob(j *Job) {
 }
 
 // execute runs the cache-aware pipeline: Phase I from the pair-list cache
-// when possible, the memory-budget degrade check at the phase boundary,
-// then the engine selected by the job's options. Only clean (non-degraded,
-// non-error) results populate the result cache, keeping cached entries
-// bitwise identical to what any engine would recompute.
+// when possible, the memory-budget spill→degrade ladder at the phase
+// boundary, then the engine selected by the job's options. Only
+// non-degraded, non-error results populate the result cache — spilled
+// results qualify because the out-of-core sweep is bitwise identical to
+// what any in-memory engine would recompute.
 func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) (*Result, []byte, bool, error) {
 	g := j.graph
 	budgetBytes := j.Options.MemBudgetBytes
@@ -421,18 +429,55 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 		m.cache.putPairs(j.graphKey, pl)
 	}
 
+	// Budget breach at the phase boundary. A sweep job first tries the
+	// out-of-core spilled sweep — its merge stream is bitwise identical to
+	// the in-memory engines, so the result stays cacheable. Only if the
+	// spill itself fails cleanly (pair list intact, no cancellation, no
+	// worker panic) does the job fall to the coarse-degrade rung. Coarse
+	// jobs have nothing to spill for: a breach simply marks them degraded
+	// as before.
 	degraded := false
+	var spillRes *linkclust.Result
 	if budget.Exceeded() {
-		rec.Add(linkclust.CtrMemBudgetDegrades, 1)
-		m.mDegraded.Add(1)
-		degraded = true
+		spill := j.Options.Algorithm == AlgoSweep
+		if spill {
+			rec.Add(linkclust.CtrMemBudgetSpills, 1)
+			rec.SetMeta("sweep_engine", linkclust.EngineSpill)
+			sres, serr := linkclust.SweepSpilledCtx(ctx, g, pl, j.Options.Workers, m.cfg.SpillDir, rec)
+			switch {
+			case serr == nil:
+				spillRes = sres
+			case ctx.Err() != nil || pl.Pairs == nil:
+				// Cancelled, or the pair list is already on disk (read-phase
+				// failure): nothing left to degrade onto.
+				return nil, nil, pairsHit, serr
+			default:
+				var wpe *par.WorkerPanicError
+				if errors.As(serr, &wpe) {
+					return nil, nil, pairsHit, serr
+				}
+				spill = false // write-phase failure with pl intact: degrade
+			}
+		}
+		if !spill {
+			rec.Add(linkclust.CtrMemBudgetDegrades, 1)
+			m.mDegraded.Add(1)
+			degraded = true
+		}
 	}
 
 	var (
 		merges []core.Merge
 		res    = &Result{Degraded: degraded}
 	)
-	if j.Options.Algorithm == AlgoCoarse || degraded {
+	if spillRes != nil {
+		merges = spillRes.Merges
+		res.Levels = spillRes.Levels
+		res.FinalClusters = spillRes.NumClusters()
+		res.PairsProcessed = spillRes.PairsProcessed
+		res.Spilled = true
+		m.mSpilled.Add(1)
+	} else if j.Options.Algorithm == AlgoCoarse || degraded {
 		params := linkclust.DefaultCoarseParams()
 		params.Workers = j.Options.Workers
 		cres, err := linkclust.CoarseSweepCtx(ctx, g, pl, params, rec)
@@ -462,6 +507,12 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 			sres, err = linkclust.SweepPipelinedCtx(ctx, g, pl, j.Options.Workers, rec)
 		case linkclust.EngineParallel:
 			sres, err = linkclust.SweepParallelCtx(ctx, g, pl, j.Options.Workers, rec)
+		case linkclust.EngineSpill:
+			sres, err = linkclust.SweepSpilledCtx(ctx, g, pl, j.Options.Workers, m.cfg.SpillDir, rec)
+			if err == nil {
+				res.Spilled = true
+				m.mSpilled.Add(1)
+			}
 		default:
 			sres, err = linkclust.SweepCtx(ctx, g, pl, rec)
 		}
@@ -538,6 +589,7 @@ func (m *Manager) Metrics() Metrics {
 		Failed:            m.mFailed.Load(),
 		Canceled:          m.mCanceled.Load(),
 		Degraded:          m.mDegraded.Load(),
+		Spilled:           m.mSpilled.Load(),
 		RejectedQueueFull: m.mRejQueue.Load(),
 		RejectedOverload:  m.mRejOverload.Load(),
 		RejectedDraining:  m.mRejDraining.Load(),

@@ -305,9 +305,13 @@ func TestBadOptions(t *testing.T) {
 	}
 }
 
-func TestDegradedRunNotCached(t *testing.T) {
+// TestSpilledRunCached: the first rung of the budget ladder. A forced
+// breach on a sweep job spills the pair list to disk and completes out of
+// core; because the spilled merge stream is bitwise identical, the result
+// IS cached and serves a later in-memory resubmission verbatim.
+func TestSpilledRunCached(t *testing.T) {
 	defer fault.Reset()
-	m := NewManager(Config{Concurrency: 1})
+	m := NewManager(Config{Concurrency: 1, SpillDir: t.TempDir()})
 	defer m.Close()
 
 	text := graphText(t, 40, 7)
@@ -320,13 +324,64 @@ func TestDegradedRunNotCached(t *testing.T) {
 	st = waitState(t, m, st.ID)
 	fault.Reset()
 	if st.State != StateDone {
+		t.Fatalf("spilled job %s (%s)", st.State, st.Error)
+	}
+	if !st.Result.Spilled || st.Result.Degraded {
+		t.Fatalf("forced breach: spilled=%v degraded=%v, want spilled and not degraded",
+			st.Result.Spilled, st.Result.Degraded)
+	}
+	mt := m.Metrics()
+	if mt.Spilled != 1 || mt.Degraded != 0 {
+		t.Fatalf("metrics spilled=%d degraded=%d, want 1/0", mt.Spilled, mt.Degraded)
+	}
+
+	// Spilled output is bitwise identical, so the resubmission without any
+	// fault must be served straight from the result cache.
+	st2, err := m.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("spilled result was not cached")
+	}
+	if st2 = waitState(t, m, st2.ID); st2.State != StateDone {
+		t.Fatalf("follow-up job %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Result.MergesSHA256 != st.Result.MergesSHA256 {
+		t.Fatalf("cached merge stream %s differs from spilled %s",
+			st2.Result.MergesSHA256, st.Result.MergesSHA256)
+	}
+}
+
+// TestDegradedRunNotCached: the second rung. When the breach's spill
+// attempt itself fails (injected block-write fault, the deterministic
+// ENOSPC), the job degrades fine→coarse and that result must NOT be
+// cached under the fine-sweep key: a resubmission without faults runs cold.
+func TestDegradedRunNotCached(t *testing.T) {
+	defer fault.Reset()
+	m := NewManager(Config{Concurrency: 1, SpillDir: t.TempDir()})
+	defer m.Close()
+
+	text := graphText(t, 40, 7)
+	fault.Reset()
+	fault.Arm(fault.MemBreach, 1, nil)
+	fault.Arm(fault.SpillWrite, 1, nil) // first rung fails: spill write errors
+	st, err := m.Submit(text, Options{MemBudgetBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, m, st.ID)
+	fault.Reset()
+	if st.State != StateDone {
 		t.Fatalf("degraded job %s (%s)", st.State, st.Error)
 	}
-	if !st.Result.Degraded {
-		t.Fatal("forced breach did not degrade the job")
+	if !st.Result.Degraded || st.Result.Spilled {
+		t.Fatalf("failed spill: degraded=%v spilled=%v, want degraded and not spilled",
+			st.Result.Degraded, st.Result.Spilled)
 	}
-	if m.Metrics().Degraded != 1 {
-		t.Fatal("degrade not counted")
+	mt := m.Metrics()
+	if mt.Degraded != 1 || mt.Spilled != 0 {
+		t.Fatalf("metrics degraded=%d spilled=%d, want 1/0", mt.Degraded, mt.Spilled)
 	}
 
 	// The degraded (coarse) result must not have been cached under the
@@ -343,6 +398,40 @@ func TestDegradedRunNotCached(t *testing.T) {
 	}
 	if st2.Result.Degraded {
 		t.Fatal("follow-up run degraded without a fault armed")
+	}
+}
+
+// TestExplicitSpillEngineJob: Engine "spill" runs the out-of-core sweep
+// unconditionally and matches a serial job's merge stream bit for bit.
+func TestExplicitSpillEngineJob(t *testing.T) {
+	m := NewManager(Config{Concurrency: 1, SpillDir: t.TempDir()})
+	defer m.Close()
+
+	text := graphText(t, 40, 7)
+	st, err := m.Submit(text, Options{Engine: linkclust.EngineSpill, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitState(t, m, st.ID); st.State != StateDone {
+		t.Fatalf("spill-engine job %s (%s)", st.State, st.Error)
+	}
+	if !st.Result.Spilled {
+		t.Fatal("explicit spill engine did not mark the result spilled")
+	}
+
+	// Same graph through a second manager serially: identical stream.
+	m2 := NewManager(Config{Concurrency: 1})
+	defer m2.Close()
+	st2, err := m2.Submit(text, Options{Engine: linkclust.EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 = waitState(t, m2, st2.ID); st2.State != StateDone {
+		t.Fatalf("serial job %s (%s)", st2.State, st2.Error)
+	}
+	if st.Result.MergesSHA256 != st2.Result.MergesSHA256 {
+		t.Fatalf("spilled stream %s != serial stream %s",
+			st.Result.MergesSHA256, st2.Result.MergesSHA256)
 	}
 }
 

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package spill
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap: always fall back to the
+// sequential-read path.
+func mapFile(f *os.File, size int) ([]byte, bool, error) { return nil, false, nil }
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package spill
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only. A mapping failure is not an error:
+// the caller falls back to a sequential read (mapped=false, data=nil).
+func mapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	data, merr := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if merr != nil {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,298 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"linkclust/internal/fault"
+)
+
+// roundTrip writes the given records through a store and reads every bucket
+// back, returning the concatenated payload per bucket.
+func roundTrip(t *testing.T, recs map[int][][]byte, opt Options) map[int][]byte {
+	t.Helper()
+	var ids []int
+	for id := range recs {
+		ids = append(ids, id)
+	}
+	s, err := NewStore(ids, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Remove()
+	for id, rs := range recs {
+		for _, r := range rs {
+			if err := s.Append(id, r); err != nil {
+				t.Fatalf("append bucket %d: %v", id, err)
+			}
+		}
+	}
+	if err := s.FinishWrites(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	out := make(map[int][]byte)
+	for id, rs := range recs {
+		bk, err := s.OpenBucket(id)
+		if err != nil {
+			t.Fatalf("open bucket %d: %v", id, err)
+		}
+		if bk.Pairs != len(rs) {
+			t.Fatalf("bucket %d header claims %d records, wrote %d", id, bk.Pairs, len(rs))
+		}
+		out[id] = append([]byte(nil), bk.Payload...)
+		bk.Close()
+	}
+	return out
+}
+
+// TestStoreRoundTrip: multi-bucket write/read with block handoffs (tiny
+// BlockBytes forces many write-behind tasks) must return every record of
+// every bucket exactly once. Block order within a bucket is unspecified —
+// pool workers race on distinct blocks of one bucket — which is the
+// documented contract: consumers re-sort buckets with a total order.
+func TestStoreRoundTrip(t *testing.T) {
+	recs := map[int][][]byte{}
+	for id := 0; id < 7; id++ {
+		for j := 0; j < 50+id; j++ {
+			recs[id] = append(recs[id], []byte(fmt.Sprintf("rec-%d-%04d|", id, j)))
+		}
+	}
+	got := roundTrip(t, recs, Options{Dir: t.TempDir(), BlockBytes: 64})
+	for id, rs := range recs {
+		gotSet := strings.Split(strings.TrimSuffix(string(got[id]), "|"), "|")
+		wantSet := make([]string, len(rs))
+		for i, r := range rs {
+			wantSet[i] = strings.TrimSuffix(string(r), "|")
+		}
+		sort.Strings(gotSet)
+		sort.Strings(wantSet)
+		if len(gotSet) != len(wantSet) {
+			t.Fatalf("bucket %d: %d records back, wrote %d", id, len(gotSet), len(wantSet))
+		}
+		for i := range wantSet {
+			if gotSet[i] != wantSet[i] {
+				t.Fatalf("bucket %d record %d: %q vs %q", id, i, gotSet[i], wantSet[i])
+			}
+		}
+	}
+}
+
+// TestStoreConcurrentAppends: concurrent appenders to shared buckets must
+// lose no record (order within a bucket is unspecified by contract).
+func TestStoreConcurrentAppends(t *testing.T) {
+	ids := []int{1, 2, 3}
+	s, err := NewStore(ids, Options{Dir: t.TempDir(), BlockBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Remove()
+	const appenders, per = 8, 200
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				rec := []byte(fmt.Sprintf("%02d-%04d;", a, j))
+				if err := s.Append(ids[j%len(ids)], rec); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	if err := s.FinishWrites(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, id := range ids {
+		bk, err := s.OpenBucket(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += bk.Pairs
+		if len(bk.Payload) != bk.Pairs*8 {
+			t.Fatalf("bucket %d: %d bytes for %d fixed-width records", id, len(bk.Payload), bk.Pairs)
+		}
+		bk.Close()
+	}
+	if total != appenders*per {
+		t.Fatalf("read back %d records, wrote %d", total, appenders*per)
+	}
+}
+
+// corruptStore writes one bucket and returns the store plus the bucket
+// file's path for corruption tests.
+func corruptStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	s, err := NewStore([]int{5}, Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Remove() })
+	for j := 0; j < 32; j++ {
+		if err := s.Append(5, []byte(fmt.Sprintf("payload-%08d", j))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FinishWrites(); err != nil {
+		t.Fatal(err)
+	}
+	return s, s.path(5)
+}
+
+// TestOpenBucketDetectsCorruption: a flipped payload byte must fail with
+// ErrChecksum; a truncated file with ErrTruncated; a bad magic with
+// ErrFormat.
+func TestOpenBucketDetectsCorruption(t *testing.T) {
+	s, path := corruptStore(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flipped := append([]byte(nil), orig...)
+	flipped[headerSize+10] ^= 0xff
+	os.WriteFile(path, flipped, 0o644)
+	if _, err := s.OpenBucket(5); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped byte: error %v, want ErrChecksum", err)
+	}
+
+	restore()
+	os.WriteFile(path, orig[:len(orig)-7], 0o644)
+	if _, err := s.OpenBucket(5); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: error %v, want ErrTruncated", err)
+	}
+
+	restore()
+	bad := append([]byte(nil), orig...)
+	copy(bad, "XXXX")
+	os.WriteFile(path, bad, 0o644)
+	if _, err := s.OpenBucket(5); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: error %v, want ErrFormat", err)
+	}
+
+	restore()
+	if bk, err := s.OpenBucket(5); err != nil {
+		t.Fatalf("restored file still rejected: %v", err)
+	} else {
+		bk.Close()
+	}
+}
+
+// TestWriteFaultFailsStore: an armed SpillWrite must surface ErrWriteFault
+// from FinishWrites and poison subsequent appends.
+func TestWriteFaultFailsStore(t *testing.T) {
+	defer fault.Reset()
+	fault.Arm(fault.SpillWrite, 1, nil)
+	s, err := NewStore([]int{0, 1}, Options{Dir: t.TempDir(), BlockBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Remove()
+	for j := 0; j < 64; j++ {
+		if err := s.Append(j%2, []byte("0123456789abcdef")); err != nil {
+			break // sticky error propagated to the appender, as designed
+		}
+	}
+	if err := s.FinishWrites(); !errors.Is(err, ErrWriteFault) {
+		t.Fatalf("finish error %v, want ErrWriteFault", err)
+	}
+}
+
+// TestReadFaultReportsChecksum: an armed SpillRead fails OpenBucket with
+// ErrChecksum even though the bytes on disk are sound.
+func TestReadFaultReportsChecksum(t *testing.T) {
+	defer fault.Reset()
+	s, _ := corruptStore(t)
+	fault.Arm(fault.SpillRead, 1, nil)
+	if _, err := s.OpenBucket(5); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("error %v, want injected ErrChecksum", err)
+	}
+	fault.Reset()
+	bk, err := s.OpenBucket(5)
+	if err != nil {
+		t.Fatalf("disarmed open failed: %v", err)
+	}
+	bk.Close()
+}
+
+// TestAbortAndRemove: Abort makes FinishWrites fast-fail with ErrAborted,
+// Remove deletes the directory and is idempotent.
+func TestAbortAndRemove(t *testing.T) {
+	parent := t.TempDir()
+	s, err := NewStore([]int{3}, Options{Dir: parent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(3, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	if err := s.FinishWrites(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("finish error %v, want ErrAborted", err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatalf("second Remove: %v", err)
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left after Remove", len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(parent, "nope")); !os.IsNotExist(err) {
+		t.Fatal("sanity: stat of missing path should fail")
+	}
+}
+
+// TestBytesWrittenAccounting: payload bytes plus one header per bucket.
+func TestBytesWrittenAccounting(t *testing.T) {
+	recs := map[int][][]byte{
+		0: {[]byte("aaaa"), []byte("bbbbbb")},
+		9: {[]byte("cc")},
+	}
+	var ids []int
+	var payload int64
+	for id, rs := range recs {
+		ids = append(ids, id)
+		for _, r := range rs {
+			payload += int64(len(r))
+		}
+	}
+	s, err := NewStore(ids, Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Remove()
+	for id, rs := range recs {
+		for _, r := range rs {
+			if err := s.Append(id, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.FinishWrites(); err != nil {
+		t.Fatal(err)
+	}
+	want := payload + int64(len(recs))*headerSize
+	if got := s.BytesWritten(); got != want {
+		t.Fatalf("BytesWritten = %d, want %d", got, want)
+	}
+}
