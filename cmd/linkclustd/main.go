@@ -13,12 +13,26 @@
 //	GET  /jobs/{id}/merges  merge stream (LCMG binary)
 //	GET  /runreport/{id}    observability run report (JSON)
 //	GET  /metrics           counters
-//	GET  /healthz           liveness (503 while draining)
+//	GET  /healthz           liveness (always 200 while the process serves)
+//	GET  /readyz            readiness (503 until startup recovery finishes,
+//	                        and again while draining)
+//
+// With -state-dir the daemon is crash-safe: submissions are journaled,
+// caches get a durable on-disk tier, long sweeps checkpoint, and a restart
+// against the same directory replays the journal — completed results are
+// re-served under their original job ids, interrupted jobs re-run (resuming
+// from their deepest checkpoint) and produce bitwise-identical merge
+// streams. See DESIGN.md §11.
 //
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting, new
 // submissions get 503, in-flight jobs are cancelled through their contexts,
 // and the process exits once every worker goroutine has unwound — partial
-// run reports for cancelled jobs stay retrievable until exit.
+// run reports for cancelled jobs stay retrievable until exit. With a state
+// dir, drain-interrupted jobs are re-run on the next start.
+//
+// LINKCLUSTD_FAULT=<point>:<hitN>:<kill|fail> arms one deterministic fault
+// injection point (see internal/fault) — the crash harness's interface for
+// killing the daemon at an exact persistence operation.
 package main
 
 import (
@@ -34,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"linkclust/internal/fault"
 	"linkclust/internal/jobs"
 )
 
@@ -59,12 +74,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		spillDir     = fs.String("spill-dir", "", "parent directory for out-of-core spill files (default: system temp dir)")
 		cacheEntries = fs.Int("cache", 64, "entries per cache side (pair lists, results; <0 disables)")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for the listener to drain on shutdown")
+		stateDir     = fs.String("state-dir", "", "state directory for crash-safe persistence: job journal, durable caches, checkpoints (empty = memory-only)")
+		ckptOps      = fs.Int("checkpoint-ops", 0, "approx op-count interval between durable sweep checkpoints (0 = default 1<<20 when -state-dir is set; <0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := fault.ArmFromEnv(os.Getenv("LINKCLUSTD_FAULT")); err != nil {
+		return err
+	}
 
-	m := jobs.NewManager(jobs.Config{
+	m, err := jobs.NewPersistentManager(jobs.Config{
 		Concurrency:       *concurrency,
 		QueueDepth:        *queueDepth,
 		DefaultJobTimeout: *jobTimeout,
@@ -72,7 +92,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		JobMemBudgetBytes: *jobMemBudget,
 		SpillDir:          *spillDir,
 		CacheEntries:      *cacheEntries,
+		StateDir:          *stateDir,
+		CheckpointOps:     *ckptOps,
 	})
+	if err != nil {
+		return err
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

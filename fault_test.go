@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"linkclust/internal/fault"
+	"linkclust/internal/persist"
 	"linkclust/internal/spill"
 )
 
@@ -311,6 +312,14 @@ func TestFaultMatrix(t *testing.T) {
 			var res *Result
 			var err error
 			switch p {
+			case fault.JournalAppend, fault.CacheStoreWrite, fault.CacheStoreLoad:
+				// The persistence points live in the daemon's state layer, not
+				// the clustering pipelines — drive the persist primitives
+				// directly. Like the spill points, firing IS the fault (a typed
+				// write failure, or a read treated as corrupt), and the
+				// disarmed rerun must round-trip cleanly.
+				testPersistFaultPoint(t, p, &fired)
+				return
 			case fault.SpillWrite, fault.SpillRead:
 				want := spill.ErrWriteFault
 				if p == fault.SpillRead {
@@ -360,6 +369,87 @@ func TestFaultMatrix(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// testPersistFaultPoint runs the armed-then-disarmed contract for one of the
+// state-layer points against a scratch state directory: the armed operation
+// fails with the typed error (ErrWriteFault on the write points, ErrCorrupt
+// on the load point) without corrupting what is already on disk, and after
+// fault.Reset the same operation succeeds and round-trips.
+func testPersistFaultPoint(t *testing.T, p fault.Point, fired *bool) {
+	t.Helper()
+	dir, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Close()
+	payload := []byte("fault-matrix payload")
+
+	switch p {
+	case fault.JournalAppend:
+		rec := persist.Record{Op: persist.OpSubmit, ID: "j1", AtUnixMS: 1}
+		j, _, _, err := dir.OpenJournal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(rec); !errors.Is(err, persist.ErrWriteFault) {
+			t.Fatalf("armed append err = %v, want ErrWriteFault", err)
+		}
+		j.Close()
+		if !*fired {
+			t.Fatal("journal-append point never fired")
+		}
+		fault.Reset()
+		j2, recs, _, err := dir.OpenJournal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("faulted append left %d records behind", len(recs))
+		}
+		if err := j2.Append(rec); err != nil {
+			t.Fatalf("disarmed append: %v", err)
+		}
+		j2.Close()
+		j3, recs, _, err := dir.OpenJournal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j3.Close()
+		if len(recs) != 1 || recs[0].ID != "j1" {
+			t.Fatalf("disarmed append replays %+v, want the one record", recs)
+		}
+	case fault.CacheStoreWrite:
+		if err := dir.WriteEntry(persist.EntryPairs, "m", payload); !errors.Is(err, persist.ErrWriteFault) {
+			t.Fatalf("armed write err = %v, want ErrWriteFault", err)
+		}
+		if !*fired {
+			t.Fatal("cache-store-write point never fired")
+		}
+		fault.Reset()
+		if err := dir.WriteEntry(persist.EntryPairs, "m", payload); err != nil {
+			t.Fatalf("disarmed write: %v", err)
+		}
+		got, err := dir.ReadEntry(persist.EntryPairs, "m")
+		if err != nil || string(got) != string(payload) {
+			t.Fatalf("round-trip = %q, %v", got, err)
+		}
+	case fault.CacheStoreLoad:
+		if err := dir.WriteEntry(persist.EntryPairs, "m", payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dir.ReadEntry(persist.EntryPairs, "m"); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("armed read err = %v, want ErrCorrupt", err)
+		}
+		if !*fired {
+			t.Fatal("cache-store-load point never fired")
+		}
+		fault.Reset()
+		got, err := dir.ReadEntry(persist.EntryPairs, "m")
+		if err != nil || string(got) != string(payload) {
+			t.Fatalf("disarmed read = %q, %v (the armed read must not have damaged the entry)", got, err)
+		}
 	}
 }
 

@@ -27,6 +27,10 @@
 package fault
 
 import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -79,6 +83,24 @@ const (
 	// bucket as corrupted (the checksum-mismatch typed error), exercising
 	// the read-back failure path without crafting a corrupt file on disk.
 	SpillRead
+	// JournalAppend fires in the persistence layer's job journal, once per
+	// record append, before any byte reaches the file. A firing hit is the
+	// fault: the append fails with the journal's typed write error and the
+	// daemon must degrade to memory-only durability — it keeps serving, it
+	// never corrupts the journal tail. Armed with a process-kill action it
+	// is the kill-and-restart harness's "crash at journal append" point.
+	JournalAppend
+	// CacheStoreWrite fires in the persistence layer's entry store, once
+	// per entry write (durable cache entries, checkpoints, graph blobs),
+	// before the temp file is created. A firing hit fails the write with
+	// the store's typed error; callers treat a failed store as a skipped
+	// write (memory-only), never as job failure.
+	CacheStoreWrite
+	// CacheStoreLoad fires in the persistence layer's entry store, once per
+	// entry read, after the real checksum verified. A firing hit reports
+	// the entry as corrupted, exercising the corruption-as-miss path
+	// without crafting a corrupt file on disk.
+	CacheStoreLoad
 	numPoints
 )
 
@@ -101,6 +123,12 @@ func (p Point) String() string {
 		return "spill-write"
 	case SpillRead:
 		return "spill-read"
+	case JournalAppend:
+		return "journal-append"
+	case CacheStoreWrite:
+		return "cache-store-write"
+	case CacheStoreLoad:
+		return "cache-store-load"
 	default:
 		return "invalid"
 	}
@@ -109,7 +137,7 @@ func (p Point) String() string {
 // Points returns every registered injection point, for docs and the
 // fault-matrix test that arms each one in turn.
 func Points() []Point {
-	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach, StreamIngest, StreamCompact, SpillWrite, SpillRead}
+	return []Point{WorkerPanic, SlowProducer, CancelWindow, MemBreach, StreamIngest, StreamCompact, SpillWrite, SpillRead, JournalAppend, CacheStoreWrite, CacheStoreLoad}
 }
 
 type arming struct {
@@ -158,6 +186,60 @@ func Reset() {
 // tests assert 0 before pinning hashes.
 func Armed() int {
 	return int(armedCount.Load())
+}
+
+// ArmFromEnv arms one point from a "name:hitN:action" spec, the interface a
+// crash harness uses to inject faults into a daemon subprocess it cannot call
+// Arm inside. name is a registry name as printed by Point.String, hitN the
+// 1-based firing ordinal, and action one of:
+//
+//   - "kill" — the process SIGKILLs itself at the hit (os.Process.Kill on
+//     the daemon's own pid), the deterministic stand-in for a crash or
+//     OOM-kill at exactly that persistence operation. No deferred cleanup
+//     runs, which is the point.
+//   - "fail" — no action; the firing hit only reports true to its call
+//     site, exercising the typed-error path.
+//
+// An empty spec is a no-op, so callers can pass os.Getenv verbatim.
+func ArmFromEnv(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("fault: spec %q, want name:hitN:action", spec)
+	}
+	var point Point = numPoints
+	for p := Point(0); p < numPoints; p++ {
+		if p.String() == parts[0] {
+			point = p
+			break
+		}
+	}
+	if point == numPoints {
+		return fmt.Errorf("fault: unknown point %q", parts[0])
+	}
+	hitN, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || hitN < 1 {
+		return fmt.Errorf("fault: bad hit ordinal %q", parts[1])
+	}
+	var action func()
+	switch parts[2] {
+	case "kill":
+		action = func() {
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				p.Kill()
+			}
+			select {} // never proceed past the kill point
+		}
+	case "fail":
+		action = nil
+	default:
+		return fmt.Errorf("fault: unknown action %q (want kill or fail)", parts[2])
+	}
+	Arm(point, hitN, action)
+	return nil
 }
 
 // Hit records one arrival at point p and reports whether the armed action

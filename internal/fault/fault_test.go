@@ -77,6 +77,34 @@ func TestResetClearsCountersAndArmings(t *testing.T) {
 	}
 }
 
+// TestArmFromEnv covers the subprocess arming interface: a valid fail spec
+// arms the named point at the named ordinal, malformed specs error without
+// arming anything, and the empty spec is a no-op.
+func TestArmFromEnv(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := ArmFromEnv(""); err != nil || Armed() != 0 {
+		t.Fatalf("empty spec: err=%v armed=%d, want nil/0", err, Armed())
+	}
+	for _, bad := range []string{"journal-append", "journal-append:1", "nope:1:fail", "journal-append:0:fail", "journal-append:x:fail", "journal-append:1:explode"} {
+		if err := ArmFromEnv(bad); err == nil {
+			t.Fatalf("spec %q accepted, want error", bad)
+		}
+	}
+	if Armed() != 0 {
+		t.Fatalf("Armed() = %d after rejected specs, want 0", Armed())
+	}
+	if err := ArmFromEnv("cache-store-load:2:fail"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(CacheStoreLoad) {
+		t.Fatal("hit 1 fired a spec armed for hit 2")
+	}
+	if !Hit(CacheStoreLoad) {
+		t.Fatal("hit 2 did not fire")
+	}
+}
+
 // TestConcurrentHitsFireExactlyOnce drives an armed point from many
 // goroutines: exactly one hit may observe the firing ordinal.
 func TestConcurrentHitsFireExactlyOnce(t *testing.T) {

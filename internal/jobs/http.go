@@ -19,6 +19,11 @@ type SubmitRequest struct {
 	// Options configures the run; the zero value is a serial fine-grained
 	// sweep with the daemon's default timeout and budget.
 	Options Options `json:"options"`
+	// IdempotencyKey deduplicates retried submissions: a key seen before
+	// returns the original job's current status instead of creating a new
+	// job. The Idempotency-Key request header takes precedence. Keys
+	// survive daemon restarts when persistence is enabled.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // NewHandler returns the daemon's HTTP API over m:
@@ -31,11 +36,16 @@ type SubmitRequest struct {
 //	GET  /runreport/{id}    the job's obs run report (partial for
 //	                        canceled/failed jobs, error-tagged)
 //	GET  /metrics           manager counters and gauges
-//	GET  /healthz           "ok", or 503 once draining
+//	GET  /healthz           liveness: always 200 while the process serves
+//	GET  /readyz            readiness: 503 + Retry-After until startup
+//	                        recovery (journal replay) finishes, and again
+//	                        once draining; 200 between
 //
 // Error mapping: 400 malformed request/graph, 404 unknown job, 409 artifact
 // requested before the job finished, 413 oversized body, 429 queue full or
-// memory-budget rejection, 503 draining.
+// memory-budget rejection, 503 recovering or draining. 429 and 503 bodies
+// carry "retryable": true and a Retry-After header; 4xx failures are
+// terminal — retrying the identical request cannot succeed.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -59,7 +69,11 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("jobs: empty graph"))
 			return
 		}
-		st, err := m.Submit([]byte(req.Graph), req.Options)
+		idemKey := r.Header.Get("Idempotency-Key")
+		if idemKey == "" {
+			idemKey = req.IdempotencyKey
+		}
+		st, err := m.SubmitIdem([]byte(req.Graph), req.Options, idemKey)
 		if err != nil {
 			httpError(w, submitStatusCode(err), err)
 			return
@@ -127,13 +141,28 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 
+	// Liveness: the process is up and serving HTTP. Stays 200 through
+	// recovery and drain — a draining daemon is alive, it is just not ready
+	// for new work; restarting it on a failed liveness probe would turn
+	// every graceful drain into a crash.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if m.Draining() {
-			httpError(w, http.StatusServiceUnavailable, ErrDraining)
-			return
-		}
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
+	})
+
+	// Readiness: take traffic only between "journal replay finished" and
+	// "drain began". Not-ready responses carry Retry-After so a submitting
+	// client (or a rolling deploy) knows to come back, not give up.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case m.Draining():
+			httpError(w, http.StatusServiceUnavailable, ErrDraining)
+		case !m.Ready():
+			httpError(w, http.StatusServiceUnavailable, ErrRecovering)
+		default:
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ready\n")
+		}
 	})
 
 	return mux
@@ -141,12 +170,13 @@ func NewHandler(m *Manager) http.Handler {
 
 // submitStatusCode maps Submit errors to HTTP codes: backpressure (queue
 // full, memory ceiling) is 429 so well-behaved clients retry with backoff,
-// drain is 503, anything else is a 400 (malformed graph or options).
+// recovery and drain are 503, anything else is a 400 (malformed graph or
+// options).
 func submitStatusCode(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrRecovering):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -161,6 +191,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is the JSON error envelope. Retryable marks transient failures
+// (backpressure, recovery, drain) a client should retry after the
+// Retry-After delay; its absence marks terminal errors where retrying the
+// identical request cannot succeed.
+type errorBody struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	retryable := code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+	if retryable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error(), Retryable: retryable})
 }

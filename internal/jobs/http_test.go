@@ -186,10 +186,14 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	pollDone(t, srv, st.ID)
 
-	// Draining: health flips to 503 and submissions are refused.
+	// Draining: readiness flips to 503 (liveness stays 200 — the process is
+	// still up, just not taking work) and submissions are refused.
 	m.Drain()
-	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Errorf("draining healthz = %d, want 503", code)
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d, want 503", code)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("draining healthz = %d, want 200", code)
 	}
 	code, _ = submit(t, srv, SubmitRequest{Graph: string(graphText(t, 10, 33))})
 	if code != http.StatusServiceUnavailable {
@@ -201,6 +205,9 @@ func TestHTTPHealthz(t *testing.T) {
 	_, srv := startServer(t, Config{})
 	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
 		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if code := getJSON(t, srv.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", code)
 	}
 }
 

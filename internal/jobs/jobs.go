@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"linkclust"
+	"linkclust/internal/core"
 )
 
 // Algorithm selects the sweeping phase of a job.
@@ -157,6 +158,9 @@ type Job struct {
 	graph     *linkclust.Graph // shared immutable; interned by the manager
 	report    *linkclust.RunReport
 	merges    []byte // serialized LCMG document
+	// resume is the durable sweep checkpoint an interrupted job restarts
+	// from (set only by journal replay; nil means run from scratch).
+	resume *core.SweepState
 }
 
 // Status is the JSON view of a job served by the HTTP layer.

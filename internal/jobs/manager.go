@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"linkclust/internal/core"
 	"linkclust/internal/obs"
 	"linkclust/internal/par"
+	"linkclust/internal/persist"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -28,6 +30,10 @@ var (
 	ErrOverloaded = errors.New("jobs: memory budget exhausted")
 	// ErrDraining means the manager is shutting down (503).
 	ErrDraining = errors.New("jobs: draining")
+	// ErrRecovering means startup journal replay has not finished yet;
+	// submissions are rejected (503 + Retry-After) until the manager is
+	// ready. Read endpoints work throughout.
+	ErrRecovering = errors.New("jobs: recovering")
 	// ErrUnknownJob means the job id is not (or no longer) retained (404).
 	ErrUnknownJob = errors.New("jobs: unknown job")
 	// ErrNotFinished means the requested artifact exists only for finished
@@ -69,6 +75,19 @@ type Config struct {
 	// MaxJobs bounds retained job records; the oldest finished jobs are
 	// evicted first (default 1024).
 	MaxJobs int
+	// StateDir enables crash-safe persistence: the job journal, the durable
+	// cache tier, graph blobs, and sweep checkpoints all live under it, and
+	// startup replays the journal (re-serving completed results, re-running
+	// interrupted jobs). Empty disables persistence entirely. Only
+	// NewPersistentManager honors it; see that constructor for the error
+	// semantics (locked or unopenable state dirs).
+	StateDir string
+	// CheckpointOps is the approximate operation-count interval between
+	// durable sweep checkpoints for persistent managers (default 1<<20 when
+	// StateDir is set; <0 disables checkpointing). Checkpoints land only at
+	// the engine's window boundaries, so resumed output is bitwise identical
+	// to an uninterrupted run regardless of the interval.
+	CheckpointOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.StateDir != "" && c.CheckpointOps == 0 {
+		c.CheckpointOps = 1 << 20
 	}
 	return c
 }
@@ -108,6 +130,18 @@ type Metrics struct {
 	CachePairEntries  int64 `json:"cache_pair_entries"`
 	CacheResultEnts   int64 `json:"cache_result_entries"`
 	LiveHeapBytes     int64 `json:"live_heap_bytes"`
+
+	// Persistence (all zero for memory-only managers).
+	RejectedRecovering    int64 `json:"rejected_recovering"`
+	DiskHitResult         int64 `json:"disk_cache_hits_result"`
+	DiskHitPairs          int64 `json:"disk_cache_hits_pairs"`
+	JournalReplayed       int64 `json:"journal_records_replayed"`
+	JobsRecovered         int64 `json:"jobs_recovered"`
+	JobsResumed           int64 `json:"jobs_resumed_from_checkpoint"`
+	CorruptEntries        int64 `json:"persist_corrupt_entries"`
+	PersistWriteSkips     int64 `json:"persist_write_skips"`
+	JanitorReclaimedBytes int64 `json:"janitor_reclaimed_bytes"`
+	PersistDegraded       int64 `json:"persist_degraded"`
 }
 
 // Manager owns the queue, the worker pool, the caches, and every job
@@ -115,16 +149,24 @@ type Metrics struct {
 type Manager struct {
 	cfg   Config
 	cache *cache
+	store *persister // nil for memory-only managers
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	queue   chan *Job
 	wg      sync.WaitGroup
 
+	// readyFlag flips true once journal replay finishes (immediately for
+	// memory-only managers); replayDone is closed at the same moment and is
+	// what Drain waits on before closing the queue.
+	readyFlag  atomic.Bool
+	replayDone chan struct{}
+
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*Job
 	order    []string // insertion order, for bounded retention
+	idem     map[string]string
 	graphs   map[[sha256.Size]byte]*graphEntry
 	graphLRU []([sha256.Size]byte)
 	rawIndex map[[sha256.Size]byte]*rawEntry
@@ -132,8 +174,10 @@ type Manager struct {
 	seq      int64
 
 	mSubmitted, mCompleted, mFailed, mCanceled, mDegraded, mSpilled atomic.Int64
-	mRejQueue, mRejOverload, mRejDraining                           atomic.Int64
+	mRejQueue, mRejOverload, mRejDraining, mRejRecovering           atomic.Int64
 	mHitResult, mHitPairs, mActive                                  atomic.Int64
+	mDiskHitResult, mDiskHitPairs, mRecovered, mResumed             atomic.Int64
+	mReplayed, mJanitorBytes                                        atomic.Int64
 }
 
 type graphEntry struct {
@@ -149,19 +193,57 @@ type rawEntry struct {
 	g        *linkclust.Graph
 }
 
-// NewManager starts a manager with cfg's worker pool running.
+// NewManager starts a manager with cfg's worker pool running. It delegates
+// to NewPersistentManager and panics if cfg.StateDir is set but cannot be
+// opened — callers that configure persistence should use
+// NewPersistentManager and handle the error.
 func NewManager(cfg Config) *Manager {
+	m, err := NewPersistentManager(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: %v", err))
+	}
+	return m
+}
+
+// NewPersistentManager starts a manager, opening and recovering the state
+// directory when cfg.StateDir is set: lockfile, janitor, journal replay. It
+// returns immediately — replay runs on its own goroutine, Ready reports its
+// completion, and submissions fail with ErrRecovering until then. Errors are
+// startup-fatal conditions only: a state dir held by a live process
+// (persist.ErrLocked) or unreadable/uncreatable state files. Corrupt journal
+// tails and cache entries are recovery inputs, not errors.
+func NewPersistentManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	var (
+		store      *persister
+		replayRecs []persist.Record
+		janitorB   int64
+	)
+	if cfg.StateDir != "" {
+		var err error
+		store, replayRecs, janitorB, err = openPersister(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SpillDir == "" {
+			// Spills under the state dir put orphaned spill runs from a
+			// crashed process inside the janitor's reach.
+			cfg.SpillDir = store.dir.SpillDir()
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:      cfg,
-		cache:    newCache(cfg.CacheEntries),
-		baseCtx:  ctx,
-		cancel:   cancel,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		graphs:   make(map[[sha256.Size]byte]*graphEntry),
-		rawIndex: make(map[[sha256.Size]byte]*rawEntry),
+		cfg:        cfg,
+		cache:      newCache(cfg.CacheEntries),
+		store:      store,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		replayDone: make(chan struct{}),
+		jobs:       make(map[string]*Job),
+		idem:       make(map[string]string),
+		graphs:     make(map[[sha256.Size]byte]*graphEntry),
+		rawIndex:   make(map[[sha256.Size]byte]*rawEntry),
 	}
 	for i := 0; i < cfg.Concurrency; i++ {
 		m.wg.Add(1)
@@ -172,8 +254,20 @@ func NewManager(cfg Config) *Manager {
 			}
 		}()
 	}
-	return m
+	if store == nil {
+		m.readyFlag.Store(true)
+		close(m.replayDone)
+	} else {
+		m.mJanitorBytes.Store(janitorB)
+		m.mReplayed.Store(int64(len(replayRecs)))
+		go m.replay(replayRecs)
+	}
+	return m, nil
 }
+
+// Ready reports whether startup recovery has finished (always true for
+// memory-only managers). The HTTP readiness probe serves it.
+func (m *Manager) Ready() bool { return m.readyFlag.Load() }
 
 // Submit parses graphText (the library's text graph format, treated as
 // untrusted input), applies admission control, and either answers from the
@@ -182,13 +276,41 @@ func NewManager(cfg Config) *Manager {
 // (cheap runtime/metrics read), then parsing, then the cache, then the
 // bounded queue.
 func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
+	return m.SubmitIdem(graphText, opts, "")
+}
+
+// SubmitIdem is Submit with a client idempotency key: a non-empty key seen
+// before returns the current status of the job it originally created — no
+// new job, no duplicate work — which is what lets a client retry a submission
+// whose response was lost (to a crash, a timeout, a dropped connection)
+// without double-submitting. Keys are journaled with their jobs, so the
+// mapping survives a daemon restart.
+func (m *Manager) SubmitIdem(graphText []byte, opts Options, idemKey string) (Status, error) {
 	opts, err := opts.normalize()
 	if err != nil {
 		return Status{}, err
 	}
+	if !m.Ready() {
+		m.mRejRecovering.Add(1)
+		return Status{}, ErrRecovering
+	}
 	if m.isDraining() {
 		m.mRejDraining.Add(1)
 		return Status{}, ErrDraining
+	}
+	if idemKey != "" {
+		m.mu.Lock()
+		if id, ok := m.idem[idemKey]; ok {
+			if j, live := m.jobs[id]; live {
+				s := j.snapshot()
+				m.mu.Unlock()
+				return s, nil
+			}
+			// The mapped job was evicted from retention; the key no longer
+			// proves anything — treat the submission as fresh.
+			delete(m.idem, idemKey)
+		}
+		m.mu.Unlock()
 	}
 	if m.cfg.MemBudgetBytes > 0 && int64(obs.LiveHeapBytes()) > m.cfg.MemBudgetBytes {
 		m.mRejOverload.Add(1)
@@ -224,6 +346,10 @@ func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
 		}
 		graphKey = sha256.Sum256(canon.Bytes())
 	}
+	// Persist the canonical graph blob before the job becomes durable in the
+	// journal: replay can only re-run an interrupted job whose graph it can
+	// reload. Content-addressed, so repeats are a stat.
+	m.store.ensureGraph(graphKey, g)
 
 	m.mu.Lock()
 	if m.draining {
@@ -243,12 +369,35 @@ func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
 	}
 	j.graph = m.internGraphLocked(graphKey, g)
 	m.recordRawLocked(rawKey, graphKey, j.graph)
+	if idemKey != "" {
+		m.idem[idemKey] = j.ID
+	}
 	m.mSubmitted.Add(1)
+	if m.store != nil {
+		optsJSON, _ := json.Marshal(opts)
+		m.store.append(persist.Record{
+			Op: persist.OpSubmit, ID: j.ID, Seq: m.seq, GraphSHA: j.GraphSHA,
+			Options: optsJSON, IdemKey: idemKey, AtUnixMS: j.EnqueuedAt.UnixMilli(),
+		})
+	}
 
 	// Full-result cache hit: the job completes at submission, no queue, no
-	// phases — the run report records only the hit.
-	if e := m.cache.getResult(j.resultKey); e != nil {
+	// phases — the run report records only the hit. The durable tier backs
+	// the memory LRU: an entry evicted from memory (or written by a previous
+	// process) is promoted back on its next hit.
+	e := m.cache.getResult(j.resultKey)
+	source := "result-hit"
+	if e != nil {
 		m.mHitResult.Add(1)
+	} else if m.store != nil {
+		if res, merges, ok := m.store.loadResult(j.resultKey); ok {
+			e = &resultEntry{key: j.resultKey, result: *res, merges: merges}
+			m.cache.putResult(e)
+			m.mDiskHitResult.Add(1)
+			source = "result-disk-hit"
+		}
+	}
+	if e != nil {
 		j.State = StateDone
 		j.Cached = true
 		now := time.Now()
@@ -258,11 +407,18 @@ func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
 		j.merges = e.merges
 		rec := linkclust.NewRecorder()
 		rec.SetMeta("job", j.ID)
-		rec.SetMeta("cache", "result-hit")
+		rec.SetMeta("cache", source)
 		rec.SetMeta("algorithm", string(opts.Algorithm))
 		j.report = rec.Report()
 		m.retainLocked(j)
 		s := j.snapshot()
+		if m.store != nil {
+			resJSON, _ := json.Marshal(j.Result)
+			m.store.append(persist.Record{
+				Op: persist.OpDone, ID: j.ID, RKey: resultName(j.resultKey),
+				Result: resJSON, AtUnixMS: now.UnixMilli(),
+			})
+		}
 		m.mu.Unlock()
 		m.mCompleted.Add(1)
 		return s, nil
@@ -271,6 +427,14 @@ func (m *Manager) Submit(graphText []byte, opts Options) (Status, error) {
 	select {
 	case m.queue <- j:
 	default:
+		// The submit record is already journaled; cancel it there too so a
+		// restart does not resurrect a job the client was told was rejected.
+		if m.store != nil {
+			m.store.append(persist.Record{
+				Op: persist.OpCancel, ID: j.ID, Err: ErrQueueFull.Error(),
+				AtUnixMS: time.Now().UnixMilli(),
+			})
+		}
 		m.mu.Unlock()
 		m.mRejQueue.Add(1)
 		return Status{}, fmt.Errorf("%w: depth %d", ErrQueueFull, m.cfg.QueueDepth)
@@ -345,6 +509,9 @@ func (m *Manager) runJob(j *Job) {
 	j.State = StateRunning
 	j.StartedAt = time.Now()
 	m.mu.Unlock()
+	if m.store != nil {
+		m.store.append(persist.Record{Op: persist.OpStart, ID: j.ID, AtUnixMS: j.StartedAt.UnixMilli()})
+	}
 
 	rec := linkclust.NewRecorder()
 	rec.SetMeta("job", j.ID)
@@ -383,15 +550,43 @@ func (m *Manager) runJob(j *Job) {
 		rec.SetMeta("error", err.Error())
 	}
 	j.report = rec.Report()
+	state, result := j.State, j.Result
+	jerr := j.Err
+	finished := j.FinishedAt
 	m.mu.Unlock()
 
-	switch j.State {
+	switch state {
 	case StateDone:
 		m.mCompleted.Add(1)
 	case StateCanceled:
 		m.mCanceled.Add(1)
 	default:
 		m.mFailed.Add(1)
+	}
+
+	if m.store == nil {
+		return
+	}
+	// Journal the terminal record. Two deliberate gaps: a drain-cancelled
+	// job gets no record (a redeploy's interrupted jobs must re-run on the
+	// next start), and a degraded result gets none either (degraded output
+	// is not cached, and a re-run may produce the finer result). Both replay
+	// as "interrupted" and re-run; their checkpoints are kept for resume.
+	at := finished.UnixMilli()
+	switch {
+	case state == StateDone && !result.Degraded:
+		resJSON, _ := json.Marshal(result)
+		m.store.append(persist.Record{
+			Op: persist.OpDone, ID: j.ID, RKey: resultName(j.resultKey),
+			Result: resJSON, AtUnixMS: at,
+		})
+		m.store.removeCkpt(j.ID)
+	case state == StateFailed:
+		m.store.append(persist.Record{Op: persist.OpFail, ID: j.ID, Err: jerr, AtUnixMS: at})
+		m.store.removeCkpt(j.ID)
+	case state == StateCanceled && !m.isDraining():
+		m.store.append(persist.Record{Op: persist.OpCancel, ID: j.ID, Err: jerr, AtUnixMS: at})
+		m.store.removeCkpt(j.ID)
 	}
 }
 
@@ -419,14 +614,24 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 		pairsHit = true
 		rec.SetMeta("cache", "pairs-hit")
 		pl = cached
+	} else if disk := m.store.loadPairs(j.graphKey); disk != nil {
+		// Durable tier behind the memory LRU: the entry survives restarts
+		// and memory eviction; promote it so the next hit is memory-speed.
+		m.mDiskHitPairs.Add(1)
+		pairsHit = true
+		rec.SetMeta("cache", "pairs-disk-hit")
+		m.cache.putPairs(j.graphKey, disk)
+		pl = disk
 	} else {
 		var err error
 		pl, err = linkclust.SimilarityCtx(ctx, g, j.Options.Workers, rec)
 		if err != nil {
 			return nil, nil, pairsHit, err
 		}
-		// Store before the sweep sorts pl in place; putPairs clones.
+		// Store before the sweep sorts pl in place; putPairs clones, and
+		// the durable entry serializes the same master order.
 		m.cache.putPairs(j.graphKey, pl)
+		m.store.savePairs(j.graphKey, pl)
 	}
 
 	// Budget breach at the phase boundary. A sweep job first tries the
@@ -501,13 +706,44 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 		if engine == "" || engine == linkclust.EngineAuto {
 			engine = core.ChooseSweepEngine(pl.NumIncidentPairs(), j.Options.Workers, j.Options.Pipeline)
 		}
+		// Checkpointed execution replaces the windowed-parallel engine when
+		// persistence is on (same engine plus state capture — output stays
+		// bitwise identical), and unconditionally when the job carries a
+		// replayed checkpoint: the resumed sweep replays only pairs past the
+		// checkpoint and emits the identical merge stream.
+		checkpointing := m.store.enabled() && m.cfg.CheckpointOps > 0 && engine == linkclust.EngineParallel
+		if j.resume != nil {
+			engine = linkclust.EngineParallel
+			checkpointing = checkpointing || m.store.enabled() && m.cfg.CheckpointOps > 0
+			rec.SetMeta("resumed_from_pos", strconv.Itoa(j.resume.Pos))
+			m.mResumed.Add(1)
+		}
 		rec.SetMeta("sweep_engine", engine)
-		switch engine {
-		case linkclust.EnginePipelined:
+		switch {
+		case engine == linkclust.EngineParallel && (checkpointing || j.resume != nil):
+			var save func(core.SweepState)
+			saveEvery := 0
+			if checkpointing {
+				saveEvery = m.cfg.CheckpointOps
+				total := len(pl.Pairs)
+				save = func(st core.SweepState) {
+					if st.Pos >= total {
+						return // final state; the done record supersedes it
+					}
+					if m.store.saveCkpt(j.ID, j.graphKey, &st) {
+						m.store.append(persist.Record{
+							Op: persist.OpCkpt, ID: j.ID, Pos: st.Pos,
+							AtUnixMS: time.Now().UnixMilli(),
+						})
+					}
+				}
+			}
+			sres, err = core.SweepResumeCtx(ctx, g, pl, j.resume, j.Options.Workers, saveEvery, save, rec)
+		case engine == linkclust.EnginePipelined:
 			sres, err = linkclust.SweepPipelinedCtx(ctx, g, pl, j.Options.Workers, rec)
-		case linkclust.EngineParallel:
+		case engine == linkclust.EngineParallel:
 			sres, err = linkclust.SweepParallelCtx(ctx, g, pl, j.Options.Workers, rec)
-		case linkclust.EngineSpill:
+		case engine == linkclust.EngineSpill:
 			sres, err = linkclust.SweepSpilledCtx(ctx, g, pl, j.Options.Workers, m.cfg.SpillDir, rec)
 			if err == nil {
 				res.Spilled = true
@@ -535,6 +771,7 @@ func (m *Manager) execute(ctx context.Context, j *Job, rec *linkclust.Recorder) 
 
 	if !degraded {
 		m.cache.putResult(&resultEntry{key: j.resultKey, result: *res, merges: buf.Bytes()})
+		m.store.saveResult(j.resultKey, res, buf.Bytes())
 	}
 	return res, buf.Bytes(), pairsHit, nil
 }
@@ -583,6 +820,14 @@ func (m *Manager) Merges(id string) ([]byte, error) {
 // Metrics snapshots the manager's counters and gauges.
 func (m *Manager) Metrics() Metrics {
 	pairEnts, resEnts := m.cache.stats()
+	var corrupt, writeSkips, degraded int64
+	if m.store != nil {
+		corrupt = m.store.mCorrupt.Load()
+		writeSkips = m.store.mWriteSkips.Load()
+		if m.store.isDegraded() {
+			degraded = 1
+		}
+	}
 	return Metrics{
 		Submitted:         m.mSubmitted.Load(),
 		Completed:         m.mCompleted.Load(),
@@ -600,6 +845,17 @@ func (m *Manager) Metrics() Metrics {
 		CachePairEntries:  int64(pairEnts),
 		CacheResultEnts:   int64(resEnts),
 		LiveHeapBytes:     int64(obs.LiveHeapBytes()),
+
+		RejectedRecovering:    m.mRejRecovering.Load(),
+		DiskHitResult:         m.mDiskHitResult.Load(),
+		DiskHitPairs:          m.mDiskHitPairs.Load(),
+		JournalReplayed:       m.mReplayed.Load(),
+		JobsRecovered:         m.mRecovered.Load(),
+		JobsResumed:           m.mResumed.Load(),
+		CorruptEntries:        corrupt,
+		PersistWriteSkips:     writeSkips,
+		JanitorReclaimedBytes: m.mJanitorBytes.Load(),
+		PersistDegraded:       degraded,
 	}
 }
 
@@ -619,18 +875,28 @@ func (m *Manager) Draining() bool { return m.isDraining() }
 // their partial run reports preserved), still-queued jobs run against the
 // already-cancelled context and finish immediately as canceled, and Drain
 // returns once every worker goroutine has exited — no goroutine outlives
-// the call. Idempotent.
+// the call. Persistent managers deliberately journal NO terminal record for
+// drain-cancelled jobs: they are interrupted, not cancelled, and the next
+// start re-runs them. Idempotent.
 func (m *Manager) Drain() {
 	m.mu.Lock()
 	already := m.draining
 	m.draining = true
-	if !already {
-		// Safe: sends happen only under m.mu with draining false.
-		close(m.queue)
-	}
 	m.mu.Unlock()
 	m.cancel()
+	if !already {
+		// Replay's enqueues are the one sender outside m.mu; it selects on
+		// baseCtx (cancelled above), so once replayDone closes no send can
+		// follow and closing the queue is safe.
+		<-m.replayDone
+		m.mu.Lock()
+		close(m.queue)
+		m.mu.Unlock()
+	}
 	m.wg.Wait()
+	if !already {
+		m.store.close()
+	}
 }
 
 // Close is Drain; it exists for defer symmetry in tests.

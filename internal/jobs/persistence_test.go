@@ -1,0 +1,238 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"linkclust"
+	"linkclust/internal/fault"
+)
+
+// In-process recovery tests for the persistent manager: journal replay,
+// idempotency across restarts, the durable cache tier behind the memory LRU,
+// and journal-fault degradation to memory-only service. The subprocess
+// kill-and-restart differential harness lives in cmd/linkclustd.
+
+func openPersistent(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewPersistentManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !m.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return m
+}
+
+func resetJobFaults(t *testing.T) {
+	t.Helper()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+}
+
+// TestPersistentRecoveryServesCompleted restarts against a state dir holding
+// one completed job: the journal replay must re-serve the result under the
+// original job id — same merges hash, no recompute — and the idempotency key
+// must still map to it.
+func TestPersistentRecoveryServesCompleted(t *testing.T) {
+	resetJobFaults(t)
+	dir := t.TempDir()
+	text := graphText(t, 60, 201)
+
+	m1 := openPersistent(t, Config{Concurrency: 2, StateDir: dir})
+	st, err := m1.SubmitIdem(text, Options{}, "idem-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, m1, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job %s (%s)", st.State, st.Error)
+	}
+	wantSHA := st.Result.MergesSHA256
+	m1.Close()
+
+	m2 := openPersistent(t, Config{Concurrency: 2, StateDir: dir})
+	defer m2.Close()
+	got, err := m2.Status(st.ID)
+	if err != nil {
+		t.Fatalf("recovered job missing: %v", err)
+	}
+	if got.State != StateDone || !got.Cached || got.Result.MergesSHA256 != wantSHA {
+		t.Fatalf("recovered job = %s cached=%v sha=%s, want done cached %s",
+			got.State, got.Cached, got.Result.MergesSHA256, wantSHA)
+	}
+	if _, err := m2.Merges(st.ID); err != nil {
+		t.Fatalf("recovered merges unavailable: %v", err)
+	}
+
+	// The idempotency key survived the restart and maps to the original job.
+	again, err := m2.SubmitIdem(text, Options{}, "idem-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != st.ID {
+		t.Fatalf("idempotent resubmit returned %s, want original %s", again.ID, st.ID)
+	}
+
+	mt := m2.Metrics()
+	if mt.JournalReplayed < 3 { // submit + start + done
+		t.Fatalf("journal_records_replayed = %d, want >= 3", mt.JournalReplayed)
+	}
+	if mt.JobsRecovered != 0 {
+		t.Fatalf("jobs_recovered = %d for a completed job, want 0 (served, not re-run)", mt.JobsRecovered)
+	}
+}
+
+// TestPersistentRecoveryRerunsInterrupted drains mid-job (which journals no
+// terminal record — the job is interrupted, not cancelled) and restarts: the
+// replay must re-enqueue the job under its id and finish it with the same
+// merges hash an uninterrupted run produces.
+func TestPersistentRecoveryRerunsInterrupted(t *testing.T) {
+	resetJobFaults(t)
+	dir := t.TempDir()
+	text := graphText(t, 300, 202)
+
+	// Control hash from a memory-only manager.
+	mc := NewManager(Config{Concurrency: 2})
+	cst, err := mc.Submit(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst = waitState(t, mc, cst.ID)
+	if cst.State != StateDone {
+		t.Fatalf("control job %s (%s)", cst.State, cst.Error)
+	}
+	wantSHA := cst.Result.MergesSHA256
+	mc.Close()
+
+	m1 := openPersistent(t, Config{Concurrency: 1, StateDir: dir, CheckpointOps: 1})
+	st, err := m1.Submit(text, Options{Engine: linkclust.EngineParallel, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close() // drain cancels the in-flight job without a terminal record
+
+	m2 := openPersistent(t, Config{Concurrency: 1, StateDir: dir, CheckpointOps: 1})
+	defer m2.Close()
+	got := waitState(t, m2, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("re-run job %s (%s)", got.State, got.Error)
+	}
+	if got.Result.MergesSHA256 != wantSHA {
+		t.Fatalf("re-run merges sha %s, control %s", got.Result.MergesSHA256, wantSHA)
+	}
+	if mt := m2.Metrics(); mt.JobsRecovered < 1 {
+		t.Fatalf("jobs_recovered = %d, want >= 1", mt.JobsRecovered)
+	}
+}
+
+// TestPersistentDiskCacheTiers exercises both durable cache sides across a
+// restart: a result evicted from the memory LRU is promoted back from disk,
+// and a pair list computed in the previous process serves a new algorithm's
+// run without a similarity recompute.
+func TestPersistentDiskCacheTiers(t *testing.T) {
+	resetJobFaults(t)
+	dir := t.TempDir()
+	textA := graphText(t, 60, 204)
+	textB := graphText(t, 60, 205)
+
+	m1 := openPersistent(t, Config{Concurrency: 1, StateDir: dir})
+	stA, err := m1.Submit(textA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA = waitState(t, m1, stA.ID)
+	if stA.State != StateDone {
+		t.Fatalf("job A %s (%s)", stA.State, stA.Error)
+	}
+	m1.Close()
+
+	// CacheEntries=1: B's completion evicts A's replayed result from the
+	// memory tier, so the resubmission of A must come from disk.
+	m2 := openPersistent(t, Config{Concurrency: 1, StateDir: dir, CacheEntries: 1})
+	defer m2.Close()
+	stB, err := m2.Submit(textB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB = waitState(t, m2, stB.ID); stB.State != StateDone {
+		t.Fatalf("job B %s (%s)", stB.State, stB.Error)
+	}
+	hitA, err := m2.Submit(textA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitA.State != StateDone || !hitA.Cached {
+		t.Fatalf("disk-tier resubmit = %s cached=%v, want done cached", hitA.State, hitA.Cached)
+	}
+	if hitA.Result.MergesSHA256 != stA.Result.MergesSHA256 {
+		t.Fatal("disk-tier result differs from the original run")
+	}
+	if mt := m2.Metrics(); mt.DiskHitResult < 1 {
+		t.Fatalf("disk_cache_hits_result = %d, want >= 1", mt.DiskHitResult)
+	}
+
+	// Pair-list tier: a coarse run over graph A has a fresh result key but the
+	// same graph hash — its similarity phase must be served by the pair list
+	// the previous process persisted.
+	stC, err := m2.Submit(textA, Options{Algorithm: AlgoCoarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC = waitState(t, m2, stC.ID); stC.State != StateDone {
+		t.Fatalf("coarse job %s (%s)", stC.State, stC.Error)
+	}
+	if !stC.PairsHit {
+		t.Fatal("coarse run recomputed similarity despite the durable pair list")
+	}
+	if mt := m2.Metrics(); mt.DiskHitPairs < 1 {
+		t.Fatalf("disk_cache_hits_pairs = %d, want >= 1", mt.DiskHitPairs)
+	}
+}
+
+// TestPersistentDegradedJournal arms a journal write fault: the first append
+// fails, the manager flips to memory-only — jobs still run and serve — and
+// nothing new is promised durable, so a restart finds an empty journal.
+func TestPersistentDegradedJournal(t *testing.T) {
+	resetJobFaults(t)
+	dir := t.TempDir()
+	text := graphText(t, 60, 206)
+
+	m1 := openPersistent(t, Config{Concurrency: 1, StateDir: dir})
+	fault.Arm(fault.JournalAppend, 1, nil)
+	st, err := m1.SubmitIdem(text, Options{}, "")
+	if err != nil {
+		t.Fatalf("submit under journal fault: %v", err)
+	}
+	st = waitState(t, m1, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("degraded job %s (%s)", st.State, st.Error)
+	}
+	if mt := m1.Metrics(); mt.PersistDegraded != 1 {
+		t.Fatalf("persist_degraded = %d, want 1", mt.PersistDegraded)
+	}
+	// A second job through the degraded manager still works.
+	st2, err := m1.Submit(graphText(t, 60, 207), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 = waitState(t, m1, st2.ID); st2.State != StateDone {
+		t.Fatalf("second degraded job %s (%s)", st2.State, st2.Error)
+	}
+	m1.Close()
+	fault.Reset()
+
+	m2 := openPersistent(t, Config{Concurrency: 1, StateDir: dir})
+	defer m2.Close()
+	if _, err := m2.Status(st.ID); err == nil {
+		t.Fatal("degraded-mode job resurrected after restart — it was never journaled")
+	}
+	if mt := m2.Metrics(); mt.JournalReplayed != 0 {
+		t.Fatalf("journal_records_replayed = %d after degraded run, want 0", mt.JournalReplayed)
+	}
+}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"linkclust/internal/core"
+)
+
+// Sweep checkpoint payload (the bytes inside an EntryCkpt envelope, which
+// already contributes magic/version/length/CRC):
+//
+//	offset  size  field
+//	0       32    SHA-256 of the canonical graph the sweep runs over
+//	32      8     Pos (pair index, little-endian)
+//	40      8     Changes
+//	48      4     Levels
+//	52      8     PairsProcessed
+//	60      8     OpsSinceFlatten
+//	68      4     chain length (graph edge count)
+//	72      4     merge count
+//	76      ...   chain entries (int32 each)
+//	...     ...   merges (Level, A, B, Into int32; Sim float64 bits — 24 B each)
+//
+// The embedded graph hash is what makes resume safe: a checkpoint is only
+// honored for a job whose graph hashes to the same value, because SweepState
+// is meaningful only against the exact sorted pair list that graph produces.
+const (
+	ckptFixedSize = 76
+	mergeSize     = 24
+	// maxCkptElems bounds the decoded chain/merge counts so a corrupt header
+	// cannot drive a huge allocation before the length cross-check runs.
+	maxCkptElems = 1 << 30
+)
+
+// EncodeSweepState serializes a checkpoint bound to the 32-byte graph hash.
+func EncodeSweepState(graphSHA [32]byte, st *core.SweepState) []byte {
+	buf := make([]byte, ckptFixedSize+4*len(st.Chain)+mergeSize*len(st.Merges))
+	copy(buf[0:32], graphSHA[:])
+	binary.LittleEndian.PutUint64(buf[32:], uint64(st.Pos))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(st.Changes))
+	binary.LittleEndian.PutUint32(buf[48:], uint32(st.Levels))
+	binary.LittleEndian.PutUint64(buf[52:], uint64(st.PairsProcessed))
+	binary.LittleEndian.PutUint64(buf[60:], uint64(st.OpsSinceFlatten))
+	binary.LittleEndian.PutUint32(buf[68:], uint32(len(st.Chain)))
+	binary.LittleEndian.PutUint32(buf[72:], uint32(len(st.Merges)))
+	off := ckptFixedSize
+	for _, c := range st.Chain {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(c))
+		off += 4
+	}
+	for _, m := range st.Merges {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(m.Level))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(m.A))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(m.B))
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(m.Into))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(m.Sim))
+		off += mergeSize
+	}
+	return buf
+}
+
+// DecodeSweepState parses a checkpoint payload and returns the graph hash it
+// is bound to plus the restored state. Any structural mismatch — short
+// buffer, element counts that disagree with the payload size — returns
+// ErrCorrupt; the caller treats that checkpoint as absent and re-runs from
+// scratch, which is always correct.
+func DecodeSweepState(payload []byte) ([32]byte, *core.SweepState, error) {
+	var sha [32]byte
+	if len(payload) < ckptFixedSize {
+		return sha, nil, fmt.Errorf("checkpoint: %d-byte payload: %w", len(payload), ErrCorrupt)
+	}
+	copy(sha[:], payload[0:32])
+	nChain := binary.LittleEndian.Uint32(payload[68:])
+	nMerges := binary.LittleEndian.Uint32(payload[72:])
+	if nChain > maxCkptElems || nMerges > maxCkptElems {
+		return sha, nil, fmt.Errorf("checkpoint: implausible counts %d/%d: %w", nChain, nMerges, ErrCorrupt)
+	}
+	want := ckptFixedSize + 4*int(nChain) + mergeSize*int(nMerges)
+	if len(payload) != want {
+		return sha, nil, fmt.Errorf("checkpoint: %d-byte payload for %d chain + %d merges (want %d): %w",
+			len(payload), nChain, nMerges, want, ErrCorrupt)
+	}
+	st := &core.SweepState{
+		Pos:             int(binary.LittleEndian.Uint64(payload[32:])),
+		Changes:         int64(binary.LittleEndian.Uint64(payload[40:])),
+		Levels:          int32(binary.LittleEndian.Uint32(payload[48:])),
+		PairsProcessed:  int64(binary.LittleEndian.Uint64(payload[52:])),
+		OpsSinceFlatten: int64(binary.LittleEndian.Uint64(payload[60:])),
+		Chain:           make([]int32, nChain),
+		Merges:          make([]core.Merge, nMerges),
+	}
+	if st.Pos < 0 {
+		return sha, nil, fmt.Errorf("checkpoint: negative position %d: %w", st.Pos, ErrCorrupt)
+	}
+	off := ckptFixedSize
+	for i := range st.Chain {
+		st.Chain[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+	}
+	for i := range st.Merges {
+		st.Merges[i] = core.Merge{
+			Level: int32(binary.LittleEndian.Uint32(payload[off:])),
+			A:     int32(binary.LittleEndian.Uint32(payload[off+4:])),
+			B:     int32(binary.LittleEndian.Uint32(payload[off+8:])),
+			Into:  int32(binary.LittleEndian.Uint32(payload[off+12:])),
+			Sim:   math.Float64frombits(binary.LittleEndian.Uint64(payload[off+16:])),
+		}
+		off += mergeSize
+	}
+	return sha, st, nil
+}

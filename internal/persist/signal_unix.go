@@ -1,0 +1,16 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// signalZero probes liveness with the null signal: delivery is never
+// attempted, but permission and existence are checked. EPERM means the pid
+// exists under another uid — still alive for lock purposes.
+func signalZero(p *os.Process) bool {
+	err := p.Signal(syscall.Signal(0))
+	return err == nil || err == syscall.EPERM
+}
